@@ -1,0 +1,211 @@
+// Top-level benchmarks: one per table and figure of the paper's
+// evaluation, wrapping the harness in internal/bench. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the reproduced headline numbers as custom
+// metrics (speedup, I/O ratio, gains) so `go test -bench` output is a
+// self-contained record of the reproduction.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/bench"
+)
+
+// BenchmarkFigure5_1 regenerates the analytic gain curves and reports
+// the paper's two anchor points as metrics.
+func BenchmarkFigure5_1(b *testing.B) {
+	var f bench.Figure51
+	for i := 0; i < b.N; i++ {
+		f = bench.RunFigure51()
+	}
+	var at8c4, peak float64
+	for i, r := range f.Ratios {
+		for j, c := range f.Cs {
+			g := f.Gains[i][j]
+			if r == 8 && c == 4 {
+				at8c4 = g
+			}
+			if g > peak {
+				peak = g
+			}
+		}
+	}
+	b.ReportMetric(at8c4, "gain@N/n=8,c=4")
+	b.ReportMetric(peak, "peak-gain")
+}
+
+// BenchmarkTable5_1 evaluates the one-period overhead model.
+func BenchmarkTable5_1(b *testing.B) {
+	var h, p analytic.PeriodOverhead
+	for i := 0; i < b.N; i++ {
+		h, p = analytic.Table51(analytic.PaperTable51())
+	}
+	b.ReportMetric(h.AvgReadKB, "horam-avg-read-KB")
+	b.ReportMetric(p.AvgReadKB, "path-avg-read-KB")
+}
+
+// BenchmarkTable5_3 runs the paper's small experiment (64 MB data set,
+// 25 000 requests) end to end on the simulated machine.
+func BenchmarkTable5_3(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full table 5-3 run")
+	}
+	var c bench.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = bench.RunComparison(bench.Table53Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.Speedup, "speedup-x")
+	b.ReportMetric(c.IORatio, "io-reduction-x")
+	b.ReportMetric(float64(c.HORAM.IOAccesses), "horam-IOs")
+}
+
+// BenchmarkTable5_4 runs the large experiment at 1/8 scale by default
+// (the cmd/horam-bench tool runs any scale up to the paper's 1 GB).
+func BenchmarkTable5_4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("table 5-4 run")
+	}
+	var c bench.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = bench.RunComparison(bench.Table54Params(0.125))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.Speedup, "speedup-x")
+	b.ReportMetric(c.IORatio, "io-reduction-x")
+}
+
+// BenchmarkTable5_2 measures the calibrated device models.
+func BenchmarkTable5_2(b *testing.B) {
+	var seqRead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable52()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Profile.Name == "hdd" {
+				seqRead = r.SeqReadMBps
+			}
+		}
+	}
+	b.ReportMetric(seqRead, "hdd-seq-read-MBps")
+}
+
+// BenchmarkSeqVsRand measures the §5.2 sequential-vs-random gap.
+func BenchmarkSeqVsRand(b *testing.B) {
+	var r bench.SeqVsRand
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.RunSeqVsRand()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Ratio, "random-over-seq-x")
+}
+
+// BenchmarkPartialShuffle sweeps the §5.3.1 shuffle ratio.
+func BenchmarkPartialShuffle(b *testing.B) {
+	if testing.Short() {
+		b.Skip("partial shuffle sweep")
+	}
+	var rows []bench.PartialShuffleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunPartialShuffle([]float64{1, 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ShuffleTime.Seconds(), "full-shuffle-s")
+	b.ReportMetric(rows[1].ShuffleTime.Seconds(), "quarter-shuffle-s")
+}
+
+// BenchmarkMultiUser sweeps the §5.3.2 user counts.
+func BenchmarkMultiUser(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multi-user sweep")
+	}
+	var rows []bench.MultiUserRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunMultiUser([]int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Throughput, "req-per-sim-second")
+}
+
+// BenchmarkZSweep runs the bucket-size ablation.
+func BenchmarkZSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("Z sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunZSweep([]int{2, 4, 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageSchedule runs the scheduler-schedule ablation.
+func BenchmarkStageSchedule(b *testing.B) {
+	if testing.Short() {
+		b.Skip("stage ablation")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunStageAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoShuffleCase measures the §5.1 non-shuffle (Figure 5-2)
+// upper bound: shuffle off the critical path.
+func BenchmarkNoShuffleCase(b *testing.B) {
+	if testing.Short() {
+		b.Skip("no-shuffle case")
+	}
+	var r bench.NoShuffleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.RunNoShuffleCase()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.GainWith, "gain-with-shuffle-x")
+	b.ReportMetric(r.GainBackground, "gain-background-x")
+}
+
+// BenchmarkShootout compares all four schemes on one trace.
+func BenchmarkShootout(b *testing.B) {
+	if testing.Short() {
+		b.Skip("shootout")
+	}
+	var rows []bench.ShootoutRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunShootout()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Scheme == "H-ORAM" {
+			b.ReportMetric(r.TotalTime.Seconds(), "horam-total-s")
+		}
+	}
+}

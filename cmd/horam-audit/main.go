@@ -1,0 +1,151 @@
+// Command horam-audit records the adversary's view of an H-ORAM run —
+// the sequence of storage slots on the simulated bus — and runs the
+// statistical obliviousness checks from internal/trace:
+//
+//	horam-audit -blocks 4096 -requests 4000
+//
+// Checks performed:
+//
+//  1. access-period slot reads are uniformly distributed (chi-square);
+//  2. no storage slot is read twice within one access period (the
+//     square-root invariant);
+//  3. a hot (single-block) workload and a uniform workload produce
+//     statistically indistinguishable storage traces (two-sample
+//     chi-square) — the cache hit pattern does not leak.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/horam"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	blocks := flag.Int64("blocks", 4096, "data set size in blocks")
+	memBlocks := flag.Int64("mem", 512, "memory-tier capacity in blocks")
+	requests := flag.Int("requests", 4000, "requests per recorded run")
+	alpha := flag.Float64("alpha", 0.001, "significance level for the chi-square tests")
+	flag.Parse()
+
+	if err := run(*blocks, *memBlocks, *requests, *alpha); err != nil {
+		fmt.Fprintln(os.Stderr, "horam-audit:", err)
+		os.Exit(1)
+	}
+}
+
+// record runs `requests` reads drawn from gen and returns the
+// access-period storage read trace plus per-period slot sequences.
+func record(blocks, memBlocks int64, requests int, gen func(*blockcipher.RNG, int64) (workload.Generator, error), seed string) ([]int64, [][]int64, int64, error) {
+	rng := blockcipher.NewRNGFromString(seed)
+	cfg := horam.Config{
+		Blocks:      blocks,
+		BlockSize:   256,
+		MemoryBytes: memBlocks * 256,
+		Sealer:      blockcipher.NullSealer{},
+		RNG:         rng.Fork("oram"),
+	}
+	o, err := horam.New(cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g, err := gen(rng.Fork("wl"), blocks)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	var reads []int64
+	periods := [][]int64{nil}
+	lastWasShuffle := false
+	o.Stor().SetHook(func(_ string, op device.Op, slot int64) {
+		if op != device.OpRead {
+			return
+		}
+		if o.InShuffle() {
+			lastWasShuffle = true
+			return
+		}
+		if lastWasShuffle {
+			periods = append(periods, nil)
+			lastWasShuffle = false
+		}
+		reads = append(reads, slot)
+		periods[len(periods)-1] = append(periods[len(periods)-1], slot)
+	})
+	var reqs []*horam.Request
+	for i := 0; i < requests; i++ {
+		reqs = append(reqs, &horam.Request{Op: horam.OpRead, Addr: g.Next()})
+	}
+	if err := o.RunBatch(reqs); err != nil {
+		return nil, nil, 0, err
+	}
+	o.Stor().SetHook(nil)
+	return reads, periods, o.Partitions() * o.PartitionSlots(), nil
+}
+
+func run(blocks, memBlocks int64, requests int, alpha float64) error {
+	hot := func(rng *blockcipher.RNG, n int64) (workload.Generator, error) {
+		return workload.NewHotspot(n, 0.95, 0.002, rng)
+	}
+	uniform := func(rng *blockcipher.RNG, n int64) (workload.Generator, error) {
+		return workload.NewUniform(n, rng)
+	}
+
+	hotReads, hotPeriods, slots, err := record(blocks, memBlocks, requests, hot, "audit-hot")
+	if err != nil {
+		return err
+	}
+	uniReads, _, _, err := record(blocks, memBlocks, requests, uniform, "audit-uniform")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("recorded %d (hot) and %d (uniform) access-period storage reads over %d slots\n\n",
+		len(hotReads), len(uniReads), slots)
+
+	// Check 1: uniformity of the observed slots.
+	bins := 16
+	check, err := trace.CheckUniform(hotReads, slots, bins, alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[1] slot uniformity (hot workload):   chi2=%8.2f  dof=%d  critical=%.2f  -> %s\n",
+		check.Chi2, check.Dof, check.Critical, verdict(check.Pass))
+
+	// Check 2: square-root invariant per period.
+	ok := true
+	for i, p := range hotPeriods {
+		if at := trace.FirstRepeat(p); at >= 0 {
+			fmt.Printf("[2] period %d: slot repeated at read %d\n", i, at)
+			ok = false
+		}
+	}
+	fmt.Printf("[2] read-once per period (%d periods): -> %s\n", len(hotPeriods), verdict(ok))
+
+	// Check 3: hot vs uniform indistinguishability.
+	chi2, dof, err := trace.TwoSampleChiSquare(hotReads, uniReads, slots, bins)
+	if err != nil {
+		return err
+	}
+	crit := trace.ChiSquareCritical(dof, alpha)
+	fmt.Printf("[3] hot vs uniform traces:            chi2=%8.2f  dof=%d  critical=%.2f  -> %s\n",
+		chi2, dof, crit, verdict(chi2 <= crit))
+
+	if !ok || !check.Pass || chi2 > crit {
+		return fmt.Errorf("obliviousness audit FAILED")
+	}
+	fmt.Println("\nall obliviousness checks passed")
+	return nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

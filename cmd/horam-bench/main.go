@@ -1,0 +1,166 @@
+// Command horam-bench regenerates every table and figure of the
+// paper's evaluation section on the simulated machine:
+//
+//	horam-bench -exp all                 # everything below
+//	horam-bench -exp fig5-1              # analytic gain curves
+//	horam-bench -exp table5-1            # one-period overhead model
+//	horam-bench -exp table5-2            # simulated machine setup
+//	horam-bench -exp table5-3            # 64 MB / 25k requests
+//	horam-bench -exp table5-4 -scale 1   # 1 GB / 500k requests (paper size)
+//	horam-bench -exp seqvsrand           # §5.2 sequential-vs-random
+//	horam-bench -exp partial             # §5.3.1 partial shuffle
+//	horam-bench -exp multiuser           # §5.3.2 multi-user sharing
+//	horam-bench -exp noshuffle           # §5.1 non-shuffle (Figure 5-2) case
+//	horam-bench -exp shootout            # all four schemes, one trace
+//	horam-bench -exp ablations           # Z sweep + scheduler schedule
+//
+// Absolute durations come from the calibrated device models (Table
+// 5-2); the claims under reproduction are the ratios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations")
+	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
+	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *crypto); err != nil {
+		fmt.Fprintln(os.Stderr, "horam-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, crypto bool) error {
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "fig5-1" {
+		ran = true
+		fmt.Print(bench.FormatFigure51(bench.RunFigure51()))
+		fmt.Println()
+	}
+	if all || exp == "table5-1" {
+		ran = true
+		fmt.Print(bench.FormatTable51())
+		fmt.Println()
+	}
+	if all || exp == "table5-2" {
+		ran = true
+		rows, err := bench.RunTable52()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable52(rows))
+		fmt.Println()
+	}
+	if all || exp == "table5-3" {
+		ran = true
+		p := bench.Table53Params()
+		p.Crypto = crypto
+		c, err := bench.RunComparison(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatComparison(c))
+		fmt.Println()
+	}
+	if all || exp == "table5-4" {
+		ran = true
+		p := bench.Table54Params(scale)
+		p.Crypto = crypto
+		c, err := bench.RunComparison(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatComparison(c))
+		if scale != 1 {
+			fmt.Printf("(scaled by %.3g; pass -scale 1 for the paper's 1 GB / 500k requests)\n", scale)
+		}
+		fmt.Println()
+	}
+	if all || exp == "seqvsrand" {
+		ran = true
+		r, err := bench.RunSeqVsRand()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §5.2: sequential vs random access on the HDD model ==")
+		fmt.Printf("sweep of %d x 1 KB slots: sequential %v, random %v -> random is %.1fx slower\n\n",
+			r.Slots, r.Sequential, r.Random, r.Ratio)
+	}
+	if all || exp == "partial" {
+		ran = true
+		rows, err := bench.RunPartialShuffle([]float64{1, 0.5, 0.25, 0.125})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPartialShuffle(rows))
+		fmt.Println()
+	}
+	if all || exp == "multiuser" {
+		ran = true
+		rows, err := bench.RunMultiUser([]int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatMultiUser(rows))
+		fmt.Println()
+	}
+	if all || exp == "noshuffle" {
+		ran = true
+		r, err := bench.RunNoShuffleCase()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatNoShuffle(r))
+		fmt.Println()
+	}
+	if all || exp == "shootout" {
+		ran = true
+		rows, err := bench.RunShootout()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatShootout(rows))
+		fmt.Println()
+	}
+	if all || exp == "ablations" {
+		ran = true
+		z, err := bench.RunZSweep([]int{2, 4, 6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatZSweep(z))
+		fmt.Println()
+		s, err := bench.RunStageAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatStageAblation(s))
+		fmt.Println()
+		d, err := bench.RunPrefetchDepth([]int{6, 12, 24, 48})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPrefetchDepth(d))
+		fmt.Println()
+		algs, err := bench.RunShuffleAlgs()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatShuffleAlgs(algs))
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command horamd serves an H-ORAM block store over TCP — the paper's
+// Figure 2-3 / 5-2 deployment: the ORAM, its storage backend and the
+// shuffle all live on the server, so shuffle traffic never crosses the
+// (slow) network, while clients see a plain block API.
+//
+//	horamd -addr :7312 -blocks 65536 -mem 8388608
+//
+// Protocol (text, one request per line):
+//
+//	READ <addr>\n                -> OK <hex>\n | ERR <msg>\n
+//	WRITE <addr> <hex>\n         -> OK\n       | ERR <msg>\n
+//	STATS\n                      -> OK requests=<n> hits=<n> ...\n
+//	QUIT\n                       -> closes the connection
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// server wraps the client with the mutex that serialises connections.
+type server struct {
+	mu     sync.Mutex
+	client *core.Client
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7312", "listen address")
+	blocks := flag.Int64("blocks", 65536, "data set size in blocks")
+	blockSize := flag.Int("blocksize", 1024, "block size in bytes")
+	mem := flag.Int64("mem", 8<<20, "memory-tier budget in bytes")
+	keyHex := flag.String("key", strings.Repeat("2a", 32), "hex master key (32 bytes)")
+	flag.Parse()
+
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil {
+		log.Fatalf("horamd: bad -key: %v", err)
+	}
+	client, err := core.Open(core.Options{
+		Blocks:      *blocks,
+		BlockSize:   *blockSize,
+		MemoryBytes: *mem,
+		Key:         key,
+	})
+	if err != nil {
+		log.Fatalf("horamd: %v", err)
+	}
+	srv := &server{client: client}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("horamd: %v", err)
+	}
+	log.Printf("horamd: serving %d x %d B blocks on %s", *blocks, *blockSize, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("horamd: accept: %v", err)
+			continue
+		}
+		go srv.handle(conn)
+	}
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+		resp := s.dispatch(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) dispatch(line string) string {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "READ":
+		if len(fields) != 2 {
+			return "ERR usage: READ <addr>"
+		}
+		addr, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad address"
+		}
+		s.mu.Lock()
+		data, err := s.client.Read(addr)
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + hex.EncodeToString(data)
+	case "WRITE":
+		if len(fields) != 3 {
+			return "ERR usage: WRITE <addr> <hex>"
+		}
+		addr, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad address"
+		}
+		data, err := hex.DecodeString(fields[2])
+		if err != nil {
+			return "ERR bad hex payload"
+		}
+		s.mu.Lock()
+		err = s.client.Write(addr, data)
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "STATS":
+		s.mu.Lock()
+		st := s.client.Stats()
+		s.mu.Unlock()
+		return fmt.Sprintf("OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s",
+			st.Requests, st.Hits, st.Misses, st.Shuffles, st.SimulatedTime)
+	default:
+		return "ERR unknown command " + cmd
+	}
+}

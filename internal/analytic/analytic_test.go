@@ -1,0 +1,185 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestAvgCPaperStages(t *testing.T) {
+	// §5.2.1: c = {1,3,5}, fracs {0.20, 0.13, 0.67} → ĉ = 3.94.
+	got, err := AvgC([]int{1, 3, 5}, []float64{0.20, 0.13, 0.67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "AvgC", got, 3.94, 1e-9)
+}
+
+func TestAvgCValidation(t *testing.T) {
+	if _, err := AvgC([]int{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := AvgC([]int{}, []float64{}); err == nil {
+		t.Error("accepted empty stages")
+	}
+	if _, err := AvgC([]int{0}, []float64{1}); err == nil {
+		t.Error("accepted c=0")
+	}
+	if _, err := AvgC([]int{1, 2}, []float64{0.3, 0.3}); err == nil {
+		t.Error("accepted fractions not summing to 1")
+	}
+}
+
+func TestPathLevelsTable51(t *testing.T) {
+	// Table 5-1: 1 GB data, 128 MB memory, 1 KB blocks, Z = 4:
+	// memory levels log2(131072/4) = 15... the paper prints "16" for
+	// the H-ORAM tree level (slots vs blocks rounding) and 16+4 for
+	// the baseline; the defining quantity is the I/O level count 4.
+	N := float64(1 << 20) // 1 GB / 1 KB
+	n := float64(128 << 10)
+	mem, io := PathLevels(n, N, 4)
+	approx(t, "io levels", io, 4, 1e-9)
+	approx(t, "mem levels", mem, 15, 1e-9)
+}
+
+func TestPathORAMIOPerAccessTable51(t *testing.T) {
+	// Table 5-1 baseline: 16 KB reads + 16 KB writes per access with
+	// 1 KB blocks → 16 blocks each way (Z·log2(2N/n) = 4·4).
+	N := float64(1 << 20)
+	n := float64(128 << 10)
+	r, w := PathORAMIOPerAccess(n, N, 4)
+	approx(t, "reads", r, 16, 1e-9)
+	approx(t, "writes", w, 16, 1e-9)
+}
+
+func TestHORAMIOPerAccessTable51(t *testing.T) {
+	// Table 5-1 H-ORAM: avg 4.5 KB reads + 4 KB writes per access.
+	N := float64(1 << 20)
+	n := float64(128 << 10)
+	r, w := HORAMIOPerAccessPaper(n, N, 4)
+	approx(t, "reads", r, 4.5, 1e-9)
+	approx(t, "writes", w, 4, 1e-9)
+}
+
+func TestRequestsServicedEq55(t *testing.T) {
+	// Equation 5-5: n·c/2 = 128Ki·4/2 = 262144 requests per period.
+	h, p := Table51(PaperTable51())
+	if h.RequestsServiced != 262144 {
+		t.Fatalf("H-ORAM requests = %d, want 262144", h.RequestsServiced)
+	}
+	if p.RequestsServiced != 65536 {
+		t.Fatalf("baseline requests = %d, want 65536", p.RequestsServiced)
+	}
+}
+
+func TestTable51Columns(t *testing.T) {
+	h, p := Table51(PaperTable51())
+
+	// H-ORAM column (paper values).
+	approx(t, "horam access read KB", h.AccessReadKB, 1, 1e-9)
+	approx(t, "horam shuffle read GB", h.ShuffleReadGB, 0.875, 1e-9)
+	approx(t, "horam shuffle write GB", h.ShuffleWriteGB, 1, 1e-9)
+	approx(t, "horam avg read KB", h.AvgReadKB, 4.5, 1e-9)
+	approx(t, "horam avg write KB", h.AvgWriteKB, 4, 1e-9)
+	if h.StorageBytes != 1<<30 {
+		t.Fatalf("horam storage = %d, want 1 GB", h.StorageBytes)
+	}
+
+	// Baseline column.
+	approx(t, "path avg read KB", p.AvgReadKB, 16, 1e-9)
+	approx(t, "path avg write KB", p.AvgWriteKB, 16, 1e-9)
+	// Paper prints 1.875 GB storage for the baseline.
+	wantStorage := int64(2<<30) - int64(128<<20)
+	if p.StorageBytes != wantStorage {
+		t.Fatalf("path storage = %d, want %d (1.875 GB)", p.StorageBytes, wantStorage)
+	}
+}
+
+func TestGainShapeFigure51(t *testing.T) {
+	// Figure 5-1 shape: Z = 4. At c=4, N/n=8 the paper reports ≈8x.
+	g := Gain(8, 4, 4, 1, 1)
+	if g < 6 || g < 0 {
+		t.Fatalf("Gain(N/n=8, c=4) = %.2f, want ≥6 (paper ≈8)", g)
+	}
+	if g > 11 {
+		t.Fatalf("Gain(N/n=8, c=4) = %.2f, implausibly high (paper ≈8)", g)
+	}
+
+	// Peak across the plotted domain stays in the paper's 12-16x band
+	// for the larger c values.
+	best := 0.0
+	for _, c := range []float64{8} {
+		for _, r := range []float64{2, 4, 8, 16, 32, 64} {
+			if v := Gain(r, c, 4, 1, 1); v > best {
+				best = v
+			}
+		}
+	}
+	if best < 10 || best > 20 {
+		t.Fatalf("peak gain = %.1f, want within the paper's 12-16x band (±tolerance)", best)
+	}
+}
+
+func TestGainMonotoneInC(t *testing.T) {
+	// More grouping always helps (at fixed N/n).
+	prev := 0.0
+	for _, c := range []float64{1, 2, 4, 8} {
+		g := Gain(8, c, 4, 1, 1)
+		if g <= prev {
+			t.Fatalf("gain not increasing in c: c=%v gives %.2f after %.2f", c, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestGainSeries(t *testing.T) {
+	ratios := []float64{2, 4, 8}
+	s := GainSeries(ratios, 4, 4)
+	if len(s) != 3 {
+		t.Fatalf("series length %d", len(s))
+	}
+	for i, v := range s {
+		if v <= 0 {
+			t.Fatalf("series[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestGainWeightsReadWriteSpeeds(t *testing.T) {
+	// §5.2: with HDD writes ~2x slower than reads, H-ORAM (which
+	// writes less per access) gains more. Weighting must move the
+	// number.
+	unweighted := Gain(8, 4, 4, 1, 1)
+	weighted := Gain(8, 4, 4, 1, 2) // writes twice as expensive
+	if weighted <= unweighted {
+		t.Fatalf("write-heavy weighting should increase gain: %.2f vs %.2f", weighted, unweighted)
+	}
+}
+
+func TestIdealGainNoShuffle(t *testing.T) {
+	// §5.1 discussion: without shuffle on the critical path the gain
+	// is 32x for the Table 5-1 scenario.
+	N := float64(1 << 20)
+	n := float64(128 << 10)
+	approx(t, "ideal gain", IdealGainNoShuffle(n, N, 4), 32, 1e-9)
+}
+
+func TestHORAMExactVsPaperForm(t *testing.T) {
+	// The exact form charges 1/c (not 1) for direct loads; it must be
+	// cheaper, and both agree as c→1.
+	N, n := float64(1<<20), float64(128<<10)
+	er, _ := HORAMIOPerAccess(n, N, 4)
+	pr, _ := HORAMIOPerAccessPaper(n, N, 4)
+	if er >= pr {
+		t.Fatalf("exact reads %v should be below paper form %v", er, pr)
+	}
+	er1, _ := HORAMIOPerAccess(n, N, 1)
+	pr1, _ := HORAMIOPerAccessPaper(n, N, 1)
+	approx(t, "c=1 agreement", er1, pr1, 1e-9)
+}

@@ -1,0 +1,169 @@
+// Package core is the public face of the H-ORAM library: a small,
+// stable client API over the full engine in internal/horam. It owns
+// key handling (one 32-byte master key fans out to the sealer and the
+// randomness), picks the paper's defaults for every knob, and offers
+// both a simple Read/Write interface and the batched interface the
+// scheduler was designed for.
+//
+// A minimal session:
+//
+//	client, err := core.Open(core.Options{
+//	        Blocks:      1 << 16,      // 64 Mi of 1 KiB blocks
+//	        MemoryBytes: 8 << 20,      // 8 MiB cache tier
+//	        Key:         key,          // 32 bytes
+//	})
+//	...
+//	err = client.Write(42, payload)
+//	data, err := client.Read(42)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/blockcipher"
+	"repro/internal/horam"
+)
+
+// DefaultBlockSize is the paper's block size (1 KB).
+const DefaultBlockSize = 1 << 10
+
+// Store is the uniform oblivious block-store interface all schemes in
+// this repository satisfy; downstream code should depend on it rather
+// than a concrete scheme.
+type Store interface {
+	// Read returns the BlockSize-byte contents of addr (zeros if the
+	// block was never written).
+	Read(addr int64) ([]byte, error)
+	// Write stores data (exactly BlockSize bytes) at addr.
+	Write(addr int64, data []byte) error
+}
+
+// Options configures a Client. Zero values select the paper's
+// defaults where one exists.
+type Options struct {
+	// Blocks is the logical data set size N in blocks. Required.
+	Blocks int64
+	// BlockSize defaults to DefaultBlockSize.
+	BlockSize int
+	// MemoryBytes is the trusted-adjacent memory-tier budget (the
+	// paper's n, counted in plaintext block capacity). Required.
+	MemoryBytes int64
+	// Key is the 32-byte master key. Required unless Insecure is set.
+	Key []byte
+	// Insecure disables encryption and integrity (NullSealer) for
+	// performance-model runs. Never use it with real data.
+	Insecure bool
+	// Seed makes the client's randomness deterministic for replayable
+	// experiments; empty derives the seed from the key.
+	Seed string
+	// ShuffleRatio enables partial shuffling (§5.3.1); 0 or 1 = full.
+	ShuffleRatio float64
+	// Stages overrides the scheduler's c schedule; nil = PaperStages.
+	Stages []horam.Stage
+}
+
+// Client is an H-ORAM session. Not safe for concurrent use; see
+// examples/multiuser for the shared-scheduler pattern.
+type Client struct {
+	oram      *horam.ORAM
+	blockSize int
+}
+
+// Open validates the options and constructs the client.
+func Open(opts Options) (*Client, error) {
+	if opts.Blocks <= 0 {
+		return nil, fmt.Errorf("core: Blocks must be positive, got %d", opts.Blocks)
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.BlockSize < 0 {
+		return nil, fmt.Errorf("core: negative BlockSize")
+	}
+	if opts.MemoryBytes <= 0 {
+		return nil, errors.New("core: MemoryBytes must be positive")
+	}
+
+	seed := opts.Seed
+	var sealer blockcipher.Sealer
+	if opts.Insecure {
+		sealer = blockcipher.NullSealer{}
+		if seed == "" {
+			seed = "core-insecure"
+		}
+	} else {
+		if len(opts.Key) != 32 {
+			return nil, fmt.Errorf("core: Key must be 32 bytes, got %d", len(opts.Key))
+		}
+		prf, err := blockcipher.NewPRF(opts.Key)
+		if err != nil {
+			return nil, err
+		}
+		if seed == "" {
+			seed = string(prf.Derive("client-seed", 32))
+		}
+		rng := blockcipher.NewRNG(prf.Derive("sealer-rng", 32))
+		sealer, err = blockcipher.NewAESSealer(opts.Key, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cfg := horam.Config{
+		Blocks:       opts.Blocks,
+		BlockSize:    opts.BlockSize,
+		MemoryBytes:  opts.MemoryBytes,
+		ShuffleRatio: opts.ShuffleRatio,
+		Stages:       opts.Stages,
+		Sealer:       sealer,
+		RNG:          blockcipher.NewRNGFromString(seed),
+	}
+	o, err := horam.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{oram: o, blockSize: opts.BlockSize}, nil
+}
+
+// BlockSize returns the client's block size in bytes.
+func (c *Client) BlockSize() int { return c.blockSize }
+
+// Read implements Store.
+func (c *Client) Read(addr int64) ([]byte, error) { return c.oram.Read(addr) }
+
+// Write implements Store.
+func (c *Client) Write(addr int64, data []byte) error { return c.oram.Write(addr, data) }
+
+// Request mirrors horam.Request for batch submission.
+type Request = horam.Request
+
+// Batch queues the requests and runs the scheduler until all of them
+// complete. Results land in each request's Result field. Batching is
+// the intended operating mode: a full reorder buffer lets the secure
+// scheduler group hits and misses with minimal dummy padding.
+func (c *Client) Batch(reqs []*Request) error { return c.oram.RunBatch(reqs) }
+
+// Stats is a snapshot of the client's scheme counters and timing.
+type Stats struct {
+	horam.Stats
+	SimulatedTime time.Duration
+	AccessTime    time.Duration
+	ShuffleTime   time.Duration
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Stats:         c.oram.Stats(),
+		SimulatedTime: c.oram.Clock().Now(),
+		AccessTime:    c.oram.AccessTime(),
+		ShuffleTime:   c.oram.ShuffleTime(),
+	}
+}
+
+// Engine exposes the underlying H-ORAM instance for experiment
+// harnesses that need device stats or adversary hooks. Application
+// code should not need it.
+func (c *Client) Engine() *horam.ORAM { return c.oram }

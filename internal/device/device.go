@@ -1,0 +1,289 @@
+// Package device simulates the storage hierarchy the paper evaluates
+// on: a slow HDD storage backend, fast DRAM, and (for ablations) an
+// SSD. Devices store fixed-size opaque slots — the ciphertext produced
+// by a blockcipher.Sealer — and charge virtual time on a shared
+// simclock.Clock according to a latency profile.
+//
+// The two properties the paper's evaluation depends on are modelled
+// explicitly:
+//
+//  1. random block access on the HDD is dominated by positioning cost
+//     (seek + rotation, or their page-cache-softened effective value);
+//  2. sequential streaming runs at full bandwidth, 10-20x faster per
+//     byte, which is what makes H-ORAM's sequential shuffle cheap.
+//
+// A Sim tracks its head position: an access to the slot following the
+// previous access is sequential and pays bandwidth cost only; anything
+// else pays the random-access positioning cost first.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Op identifies the direction of a device access, as visible to an
+// adversary probing the bus.
+type Op uint8
+
+// Device operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Stats aggregates traffic counters for one device.
+type Stats struct {
+	Reads        int64         // read ops
+	Writes       int64         // write ops
+	BytesRead    int64         // payload bytes read
+	BytesWritten int64         // payload bytes written
+	SeqReads     int64         // reads that hit the sequential fast path
+	SeqWrites    int64         // writes that hit the sequential fast path
+	Busy         time.Duration // virtual time this device was busy
+}
+
+// Add returns the element-wise sum of s and t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Reads:        s.Reads + t.Reads,
+		Writes:       s.Writes + t.Writes,
+		BytesRead:    s.BytesRead + t.BytesRead,
+		BytesWritten: s.BytesWritten + t.BytesWritten,
+		SeqReads:     s.SeqReads + t.SeqReads,
+		SeqWrites:    s.SeqWrites + t.SeqWrites,
+		Busy:         s.Busy + t.Busy,
+	}
+}
+
+// Ops returns the total number of operations.
+func (s Stats) Ops() int64 { return s.Reads + s.Writes }
+
+// Device is a slot-addressed store with simulated access cost.
+//
+// Implementations must tolerate concurrent callers only if documented;
+// the ORAM controllers in this repository serialise device access.
+type Device interface {
+	// Name identifies the device in reports ("hdd", "dram", ...).
+	Name() string
+	// SlotSize returns the fixed payload size of one slot in bytes.
+	SlotSize() int
+	// Slots returns the number of addressable slots.
+	Slots() int64
+	// Read copies slot's payload into dst (len(dst) ≥ SlotSize) and
+	// charges simulated time.
+	Read(slot int64, dst []byte) error
+	// Write stores src (len(src) == SlotSize) into slot and charges
+	// simulated time.
+	Write(slot int64, src []byte) error
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+}
+
+// Hook observes every access to a device; the trace package uses it to
+// record the adversary's view. The hook runs synchronously on the
+// accessing goroutine.
+type Hook func(dev string, op Op, slot int64)
+
+// Profile parameterises the latency model of a Sim.
+type Profile struct {
+	// Name labels the device class, e.g. "hdd".
+	Name string
+	// ReadBandwidth and WriteBandwidth are streaming rates in
+	// bytes/second once the head is positioned.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// RandomReadPenalty / RandomWritePenalty are charged on every
+	// access that is not sequential with respect to the previous one
+	// (seek + rotational latency on a raw disk, or the page-cache
+	// softened effective value the paper's machine exhibits).
+	RandomReadPenalty  time.Duration
+	RandomWritePenalty time.Duration
+	// SeqWindow is how many slots ahead of the head an access may land
+	// and still count as sequential (models readahead/NCQ coalescing).
+	// 1 means only the exact next slot is sequential.
+	SeqWindow int64
+}
+
+func (p Profile) validate() error {
+	if p.ReadBandwidth <= 0 || p.WriteBandwidth <= 0 {
+		return fmt.Errorf("device: profile %q: bandwidths must be positive", p.Name)
+	}
+	if p.RandomReadPenalty < 0 || p.RandomWritePenalty < 0 {
+		return fmt.Errorf("device: profile %q: penalties must be non-negative", p.Name)
+	}
+	if p.SeqWindow < 1 {
+		return fmt.Errorf("device: profile %q: SeqWindow must be ≥ 1", p.Name)
+	}
+	return nil
+}
+
+// transferTime returns the streaming time for n bytes at bw bytes/s.
+func transferTime(n int, bw float64) time.Duration {
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// Sim is the simulated device. It is not safe for concurrent use; the
+// ORAM controllers serialise access to each device.
+type Sim struct {
+	profile  Profile
+	clock    *simclock.Clock
+	slotSize int
+	data     [][]byte
+	head     int64 // next slot a sequential access would hit; -1 initially
+	stats    Stats
+	hook     Hook
+}
+
+// New constructs a simulated device with the given profile, slot
+// geometry and shared clock. All slots start zero-filled (allocated
+// lazily on first write, so huge devices are cheap until touched).
+func New(p Profile, slotSize int, slots int64, clock *simclock.Clock) (*Sim, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("device: slot size must be positive, got %d", slotSize)
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("device: slot count must be positive, got %d", slots)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("device: nil clock")
+	}
+	return &Sim{
+		profile:  p,
+		clock:    clock,
+		slotSize: slotSize,
+		data:     make([][]byte, slots),
+		head:     -1,
+	}, nil
+}
+
+// Name implements Device.
+func (s *Sim) Name() string { return s.profile.Name }
+
+// SlotSize implements Device.
+func (s *Sim) SlotSize() int { return s.slotSize }
+
+// Slots implements Device.
+func (s *Sim) Slots() int64 { return int64(len(s.data)) }
+
+// Profile returns the latency profile the device was built with.
+func (s *Sim) Profile() Profile { return s.profile }
+
+// SetHook installs fn to observe every access; a nil fn removes the
+// hook.
+func (s *Sim) SetHook(fn Hook) { s.hook = fn }
+
+// sequential reports whether an access at slot continues the current
+// streaming run, and advances the head.
+func (s *Sim) sequential(slot int64) bool {
+	seq := s.head >= 0 && slot >= s.head && slot < s.head+s.profile.SeqWindow
+	s.head = slot + 1
+	return seq
+}
+
+func (s *Sim) checkSlot(slot int64) error {
+	if slot < 0 || slot >= int64(len(s.data)) {
+		return fmt.Errorf("device %s: slot %d out of range [0,%d)", s.profile.Name, slot, len(s.data))
+	}
+	return nil
+}
+
+// Read implements Device.
+func (s *Sim) Read(slot int64, dst []byte) error {
+	if err := s.checkSlot(slot); err != nil {
+		return err
+	}
+	if len(dst) < s.slotSize {
+		return fmt.Errorf("device %s: read buffer %d < slot size %d", s.profile.Name, len(dst), s.slotSize)
+	}
+	lat := transferTime(s.slotSize, s.profile.ReadBandwidth)
+	if s.sequential(slot) {
+		s.stats.SeqReads++
+	} else {
+		lat += s.profile.RandomReadPenalty
+	}
+	s.clock.Advance(lat)
+	s.stats.Reads++
+	s.stats.BytesRead += int64(s.slotSize)
+	s.stats.Busy += lat
+	if s.data[slot] == nil {
+		for i := 0; i < s.slotSize; i++ {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst, s.data[slot])
+	}
+	if s.hook != nil {
+		s.hook(s.profile.Name, OpRead, slot)
+	}
+	return nil
+}
+
+// Write implements Device.
+func (s *Sim) Write(slot int64, src []byte) error {
+	if err := s.checkSlot(slot); err != nil {
+		return err
+	}
+	if len(src) != s.slotSize {
+		return fmt.Errorf("device %s: write payload %d != slot size %d", s.profile.Name, len(src), s.slotSize)
+	}
+	lat := transferTime(s.slotSize, s.profile.WriteBandwidth)
+	if s.sequential(slot) {
+		s.stats.SeqWrites++
+	} else {
+		lat += s.profile.RandomWritePenalty
+	}
+	s.clock.Advance(lat)
+	s.stats.Writes++
+	s.stats.BytesWritten += int64(s.slotSize)
+	s.stats.Busy += lat
+	if s.data[slot] == nil {
+		s.data[slot] = make([]byte, s.slotSize)
+	}
+	copy(s.data[slot], src)
+	if s.hook != nil {
+		s.hook(s.profile.Name, OpWrite, slot)
+	}
+	return nil
+}
+
+// WriteRaw stores src into slot without charging simulated time or
+// touching the counters. It exists for experiment setup (initial ORAM
+// population) that the paper does not bill to the measured phase.
+func (s *Sim) WriteRaw(slot int64, src []byte) error {
+	if err := s.checkSlot(slot); err != nil {
+		return err
+	}
+	if len(src) != s.slotSize {
+		return fmt.Errorf("device %s: raw write payload %d != slot size %d", s.profile.Name, len(src), s.slotSize)
+	}
+	if s.data[slot] == nil {
+		s.data[slot] = make([]byte, s.slotSize)
+	}
+	copy(s.data[slot], src)
+	return nil
+}
+
+// Stats implements Device.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (the stored data is untouched).
+func (s *Sim) ResetStats() { s.stats = Stats{} }
+
+// ResetHead forgets the current head position so that the next access
+// is charged as random. ORAM controllers call this between logical
+// phases whose accesses should not accidentally coalesce.
+func (s *Sim) ResetHead() { s.head = -1 }

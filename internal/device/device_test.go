@@ -1,0 +1,323 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func newTestDevice(t *testing.T, p Profile, slotSize int, slots int64) (*Sim, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	d, err := New(p, slotSize, slots, clk)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, clk
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := simclock.New()
+	cases := []struct {
+		name     string
+		profile  Profile
+		slotSize int
+		slots    int64
+		clock    *simclock.Clock
+	}{
+		{"zero bandwidth", Profile{Name: "x", ReadBandwidth: 0, WriteBandwidth: 1, SeqWindow: 1}, 8, 8, clk},
+		{"negative penalty", Profile{Name: "x", ReadBandwidth: 1, WriteBandwidth: 1, RandomReadPenalty: -1, SeqWindow: 1}, 8, 8, clk},
+		{"zero seq window", Profile{Name: "x", ReadBandwidth: 1, WriteBandwidth: 1, SeqWindow: 0}, 8, 8, clk},
+		{"zero slot size", PaperHDD(), 0, 8, clk},
+		{"zero slots", PaperHDD(), 8, 0, clk},
+		{"nil clock", PaperHDD(), 8, 8, nil},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.profile, tc.slotSize, tc.slots, tc.clock); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 16, 32)
+	src := []byte("0123456789abcdef")
+	if err := d.Write(5, src); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	dst := make([]byte, 16)
+	if err := d.Read(5, dst); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("Read = %q, want %q", dst, src)
+	}
+}
+
+func TestReadUnwrittenSlotIsZero(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 8, 8)
+	dst := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := d.Read(3, dst); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("unwritten slot byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 8, 8)
+	buf := make([]byte, 8)
+	if err := d.Read(-1, buf); err == nil {
+		t.Error("Read(-1) succeeded")
+	}
+	if err := d.Read(8, buf); err == nil {
+		t.Error("Read(8) succeeded on 8-slot device")
+	}
+	if err := d.Write(9, buf); err == nil {
+		t.Error("Write(9) succeeded on 8-slot device")
+	}
+	if err := d.Read(0, make([]byte, 4)); err == nil {
+		t.Error("Read with short buffer succeeded")
+	}
+	if err := d.Write(0, make([]byte, 4)); err == nil {
+		t.Error("Write with short payload succeeded")
+	}
+	if err := d.WriteRaw(0, make([]byte, 4)); err == nil {
+		t.Error("WriteRaw with short payload succeeded")
+	}
+	if err := d.WriteRaw(99, buf); err == nil {
+		t.Error("WriteRaw out of range succeeded")
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	const slotSize = 1024
+	const slots = 4096
+
+	// Sequential sweep.
+	dSeq, clkSeq := newTestDevice(t, PaperHDD(), slotSize, slots)
+	buf := make([]byte, slotSize)
+	for i := int64(0); i < slots; i++ {
+		if err := dSeq.Read(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqTime := clkSeq.Now()
+
+	// Random-ish sweep: stride pattern guaranteed non-sequential.
+	dRand, clkRand := newTestDevice(t, PaperHDD(), slotSize, slots)
+	for i := int64(0); i < slots; i++ {
+		slot := (i * 1021) % slots // 1021 prime, stride >> SeqWindow
+		if err := dRand.Read(slot, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	randTime := clkRand.Now()
+
+	ratio := float64(randTime) / float64(seqTime)
+	if ratio < 5 || ratio > 40 {
+		t.Fatalf("random/sequential latency ratio = %.1f, want within [5,40] (paper observes 10-20x)", ratio)
+	}
+}
+
+func TestFirstAccessIsRandom(t *testing.T) {
+	d, clk := newTestDevice(t, PaperHDD(), 1024, 16)
+	buf := make([]byte, 1024)
+	if err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() < PaperHDD().RandomReadPenalty {
+		t.Fatalf("first access cost %v, want at least the random penalty %v", clk.Now(), PaperHDD().RandomReadPenalty)
+	}
+	if got := d.Stats().SeqReads; got != 0 {
+		t.Fatalf("first access counted as sequential (SeqReads=%d)", got)
+	}
+}
+
+func TestSeqWindowCoalescing(t *testing.T) {
+	p := PaperHDD() // SeqWindow = 8
+	d, _ := newTestDevice(t, p, 1024, 64)
+	buf := make([]byte, 1024)
+	d.Read(0, buf) // random: establishes head at 1
+	d.Read(4, buf) // within window of head=1: sequential
+	d.Read(5, buf) // next: sequential
+	d.Read(40, buf)
+	st := d.Stats()
+	if st.SeqReads != 2 {
+		t.Fatalf("SeqReads = %d, want 2", st.SeqReads)
+	}
+	if st.Reads != 4 {
+		t.Fatalf("Reads = %d, want 4", st.Reads)
+	}
+}
+
+func TestResetHeadForcesRandom(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 1024, 16)
+	buf := make([]byte, 1024)
+	d.Read(0, buf)
+	d.ResetHead()
+	d.Read(1, buf) // would have been sequential
+	if got := d.Stats().SeqReads; got != 0 {
+		t.Fatalf("SeqReads = %d after ResetHead, want 0", got)
+	}
+}
+
+func TestBackwardAccessIsRandom(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 1024, 16)
+	buf := make([]byte, 1024)
+	d.Read(5, buf)
+	d.Read(4, buf) // backwards
+	if got := d.Stats().SeqReads; got != 0 {
+		t.Fatalf("backward access counted sequential (SeqReads=%d)", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, clk := newTestDevice(t, PaperHDD(), 512, 32)
+	buf := make([]byte, 512)
+	for i := int64(0); i < 10; i++ {
+		if err := d.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := d.Read(i*3, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Writes != 10 || st.Reads != 5 {
+		t.Fatalf("ops = (%d reads, %d writes), want (5, 10)", st.Reads, st.Writes)
+	}
+	if st.BytesWritten != 10*512 || st.BytesRead != 5*512 {
+		t.Fatalf("bytes = (%d, %d), want (2560, 5120)", st.BytesRead, st.BytesWritten)
+	}
+	if st.Busy != clk.Now() {
+		t.Fatalf("Busy = %v but clock shows %v (single device should own all time)", st.Busy, clk.Now())
+	}
+	if st.Ops() != 15 {
+		t.Fatalf("Ops() = %d, want 15", st.Ops())
+	}
+	d.ResetStats()
+	if d.Stats().Ops() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, SeqReads: 5, SeqWrites: 6, Busy: 7}
+	b := Stats{Reads: 10, Writes: 20, BytesRead: 30, BytesWritten: 40, SeqReads: 50, SeqWrites: 60, Busy: 70}
+	got := a.Add(b)
+	want := Stats{Reads: 11, Writes: 22, BytesRead: 33, BytesWritten: 44, SeqReads: 55, SeqWrites: 66, Busy: 77}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestWriteRawChargesNoTime(t *testing.T) {
+	d, clk := newTestDevice(t, PaperHDD(), 64, 8)
+	if err := d.WriteRaw(2, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("WriteRaw advanced the clock to %v", clk.Now())
+	}
+	if d.Stats().Ops() != 0 {
+		t.Fatal("WriteRaw touched the counters")
+	}
+}
+
+func TestHookObservesAccesses(t *testing.T) {
+	d, _ := newTestDevice(t, PaperHDD(), 64, 8)
+	type ev struct {
+		dev  string
+		op   Op
+		slot int64
+	}
+	var got []ev
+	d.SetHook(func(dev string, op Op, slot int64) {
+		got = append(got, ev{dev, op, slot})
+	})
+	buf := make([]byte, 64)
+	d.Write(3, buf)
+	d.Read(3, buf)
+	want := []ev{{"hdd", OpWrite, 3}, {"hdd", OpRead, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Removing the hook stops observation.
+	d.SetHook(nil)
+	d.Read(0, buf)
+	if len(got) != 2 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatalf("Op.String() = %q/%q", OpRead, OpWrite)
+	}
+}
+
+func TestProfilesAreValid(t *testing.T) {
+	clk := simclock.New()
+	for _, p := range []Profile{PaperHDD(), RawHDD7200(), SSD(), DRAM()} {
+		if _, err := New(p, 1024, 16, clk); err != nil {
+			t.Errorf("profile %q rejected: %v", p.Name, err)
+		}
+		if strings.TrimSpace(p.Name) == "" {
+			t.Errorf("profile has empty name: %+v", p)
+		}
+	}
+}
+
+func TestDRAMMuchFasterThanHDD(t *testing.T) {
+	buf := make([]byte, 1024)
+
+	dram, clkD := newTestDevice(t, DRAM(), 1024, 1024)
+	for i := int64(0); i < 100; i++ {
+		dram.Read((i*37)%1024, buf)
+	}
+	dramTime := clkD.Now()
+
+	hdd, clkH := newTestDevice(t, PaperHDD(), 1024, 1024)
+	for i := int64(0); i < 100; i++ {
+		hdd.Read((i*37)%1024, buf)
+	}
+	hddTime := clkH.Now()
+
+	if hddTime < 50*dramTime {
+		t.Fatalf("hdd random (%v) should be >>50x dram random (%v)", hddTime, dramTime)
+	}
+}
+
+func TestPaperHDDStreamingThroughput(t *testing.T) {
+	// Writing 1 MB sequentially should take ~1/55.2 s per Table 5-2.
+	const slotSize = 4096
+	const slots = 256 // 1 MB
+	d, clk := newTestDevice(t, PaperHDD(), slotSize, slots)
+	payload := make([]byte, slotSize)
+	for i := int64(0); i < slots; i++ {
+		if err := d.Write(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalBytes := float64(slots * slotSize)
+	want := time.Duration(totalBytes / (55.2 * MB) * float64(time.Second))
+	got := clk.Now() - PaperHDD().RandomWritePenalty // first op pays positioning
+	tolerance := want / 10
+	if got < want-tolerance || got > want+tolerance {
+		t.Fatalf("sequential 1MB write took %v, want %v ±10%%", got, want)
+	}
+}

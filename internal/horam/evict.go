@@ -1,0 +1,176 @@
+package horam
+
+import (
+	"fmt"
+
+	"repro/internal/posmap"
+	"repro/internal/shuffle"
+	"repro/internal/stash"
+)
+
+// evictAndShuffle runs the paper's shuffle period (§4.3):
+//
+//  1. oblivious tree evict — the whole memory tree (real + dummy
+//     slots) is scanned into a trusted buffer, shuffled, and the
+//     dummies dropped, so the scan order reveals nothing about which
+//     slots were real;
+//  2. group & partition shuffle — the shuffle window's partitions are
+//     processed left to right: read the partition sequentially, keep
+//     its live cold blocks, concatenate the next piece of the evicted
+//     hot data, shuffle in trusted memory (cache shuffle), write back
+//     sequentially under a fresh intra-partition permutation;
+//  3. a new empty tree (the DrainAll already re-sealed dummies) and a
+//     cleared touched-bit state start the next access period.
+//
+// With ShuffleRatio r < 1 only ⌈r·√N⌉ partitions form the window each
+// period (§5.3.1), cycling round-robin; slack slots absorb the extra
+// hot data until each partition's next turn.
+func (o *ORAM) evictAndShuffle() error {
+	o.inShuffle = true
+	defer func() { o.inShuffle = false }()
+	return o.serial("shuffle", func() error {
+		// Phase 1: oblivious tree evict. DrainAll performs the full
+		// sequential scan on the memory device (charging its time) and
+		// returns the real blocks; the uniform shuffle below stands in
+		// for the oblivious buffer shuffle — inside trusted memory any
+		// uniform permutation is admissible.
+		evicted, err := o.mem.DrainAll()
+		if err != nil {
+			return err
+		}
+		items := make([][]byte, len(evicted))
+		addrs := make([]int64, len(evicted))
+		for i, b := range evicted {
+			items[i] = b.Data
+			addrs[i] = b.Addr
+		}
+		perm := shuffle.Random(len(items), o.cfg.RNG)
+		items = shuffle.Apply(perm, items)
+		addrs = shuffle.Apply(perm, addrs)
+		o.stats.EvictedReal += int64(len(items))
+
+		pool := make([]stash.Block, len(items))
+		for i := range items {
+			pool[i] = stash.Block{Addr: addrs[i], Data: items[i]}
+		}
+
+		// Phase 2: group & partition shuffle over the window.
+		window := o.partitions
+		if o.cfg.ShuffleRatio > 0 && o.cfg.ShuffleRatio < 1 {
+			window = int64(float64(o.partitions)*o.cfg.ShuffleRatio + 0.5)
+			if window < 1 {
+				window = 1
+			}
+		}
+		poolIdx := 0
+		shuffled := int64(0)
+		for shuffled < window || poolIdx < len(pool) {
+			if shuffled >= o.partitions {
+				// Every partition visited and hot data still homeless:
+				// the slack sizing is insufficient (cannot happen with
+				// the shipped factors; guard against config drift).
+				return fmt.Errorf("horam: shuffle could not place %d evicted blocks", len(pool)-poolIdx)
+			}
+			p := o.nextPart
+			o.nextPart = (o.nextPart + 1) % o.partitions
+			n, err := o.shufflePartition(p, pool, &poolIdx)
+			if err != nil {
+				return err
+			}
+			_ = n
+			shuffled++
+		}
+		o.stats.PartShuffled += shuffled
+		o.stats.Shuffles++
+
+		// Phase 3: fresh period state.
+		o.perm.ResetPeriod()
+		o.missCount = 0
+		o.storDev.ResetHead() // the next access is positioning-random
+		return nil
+	})
+}
+
+// shufflePartition reshuffles partition p, absorbing as much of the
+// evicted pool (from *poolIdx on) as fits. It returns the number of
+// pool blocks absorbed.
+func (o *ORAM) shufflePartition(p int64, pool []stash.Block, poolIdx *int) (int, error) {
+	base := p * o.partSlots
+	buf := make([]byte, o.storDev.SlotSize())
+
+	// Sequential read: collect live cold blocks. A slot is live iff
+	// the permutation list still maps its block here — blocks fetched
+	// to memory this (or an earlier partial-shuffle) period left stale
+	// ciphertext behind.
+	type rec struct {
+		addr int64
+		data []byte
+	}
+	var blocks []rec
+	for i := int64(0); i < o.partSlots; i++ {
+		slot := base + i
+		if err := o.storDev.Read(slot, buf); err != nil {
+			return 0, err
+		}
+		addr, payload, err := o.openRecord(buf)
+		if err != nil {
+			return 0, err
+		}
+		if addr == dummyAddr {
+			continue
+		}
+		e, err := o.perm.Lookup(addr)
+		if err != nil {
+			return 0, err
+		}
+		if e.Tier != posmap.TierStorage || e.Slot != slot {
+			continue // stale copy
+		}
+		owned := make([]byte, o.cfg.BlockSize)
+		copy(owned, payload)
+		blocks = append(blocks, rec{addr, owned})
+	}
+
+	// Concatenate the next piece of evicted hot data.
+	absorbed := 0
+	for int64(len(blocks)) < o.partSlots && *poolIdx < len(pool) {
+		b := pool[*poolIdx]
+		*poolIdx++
+		blocks = append(blocks, rec{b.Addr, b.Data})
+		absorbed++
+	}
+
+	// Cache shuffle in trusted memory, then sequential write-back
+	// under a fresh intra-partition permutation.
+	items := make([][]byte, len(blocks))
+	for i := range blocks {
+		items[i] = blocks[i].data
+	}
+	permIdx := o.cfg.RNG.Perm(int(o.partSlots))
+	slotOfIdx := make(map[int64]int, len(blocks))
+	for i := range blocks {
+		slotOfIdx[base+int64(permIdx[i])] = i
+	}
+	for i := int64(0); i < o.partSlots; i++ {
+		slot := base + i
+		addr := dummyAddr
+		var payload []byte
+		if bi, ok := slotOfIdx[slot]; ok {
+			addr = blocks[bi].addr
+			payload = blocks[bi].data
+		}
+		sealed, err := o.sealRecord(addr, payload)
+		if err != nil {
+			return 0, err
+		}
+		if err := o.storDev.Write(slot, sealed); err != nil {
+			return 0, err
+		}
+		if addr != dummyAddr {
+			if err := o.perm.SetStorage(addr, slot); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return absorbed, nil
+}

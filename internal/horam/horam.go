@@ -1,0 +1,381 @@
+// Package horam implements H-ORAM, the paper's contribution: a hybrid
+// ORAM that splits a large data set between a fast memory tier and a
+// slow storage tier and lets the memory tier act as a cache without
+// leaking the hit/miss pattern.
+//
+// Layout (paper §4.1):
+//
+//   - control layer (trusted): permutation list, position map (inside
+//     the embedded Path ORAM), request scheduler with its ROB table;
+//   - memory layer: a Path ORAM tree of n slots (≤ n/2 real blocks)
+//     that starts every period empty and fills with fetched blocks;
+//   - storage layer: N sealed blocks in √N partitions, each block read
+//     at most once per access period (square-root invariant).
+//
+// Operation alternates between an access period — the scheduler groups
+// c in-memory hits with exactly 1 storage load per cycle, padding with
+// dummies, so every cycle presents the same bus shape — and a shuffle
+// period — the tree is obliviously evicted and the storage partitions
+// are re-permuted with sequential I/O (§4.3).
+package horam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/oramtree"
+	"repro/internal/pathoram"
+	"repro/internal/posmap"
+	"repro/internal/simclock"
+)
+
+// Op selects the request type.
+type Op uint8
+
+// Request operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Stage is one phase of the scheduler's group-size schedule: for Frac
+// of the period's I/O budget, every cycle groups C in-memory reads
+// with the single storage load (§4.2: c starts small while the cache
+// is cold and grows as it warms).
+type Stage struct {
+	C    int
+	Frac float64
+}
+
+// PaperStages returns the schedule used in the paper's evaluation:
+// c = {1, 3, 5} over {20%, 13%, 67%} of each period (ĉ ≈ 3.94).
+func PaperStages() []Stage {
+	return []Stage{{C: 1, Frac: 0.20}, {C: 3, Frac: 0.13}, {C: 5, Frac: 0.67}}
+}
+
+// Config parameterises an H-ORAM instance.
+type Config struct {
+	// Blocks is the logical data set size N in blocks.
+	Blocks int64
+	// BlockSize is the plaintext block payload in bytes.
+	BlockSize int
+	// MemoryBytes is the memory-tier budget, counted in plaintext
+	// block capacity as the paper does (n = MemoryBytes / BlockSize
+	// slots; sealing metadata is not billed against the budget).
+	MemoryBytes int64
+	// Z is the Path ORAM bucket size for the memory tree (paper: 4).
+	Z int
+	// Stages is the scheduler's c schedule; nil selects PaperStages.
+	Stages []Stage
+	// PrefetchDepth is the scheduler's ROB scan window d (> max C);
+	// zero selects 2·maxC + 2.
+	PrefetchDepth int
+	// ShuffleRatio r selects partial shuffling (§5.3.1): the fraction
+	// of partitions reshuffled per period. 0 or 1 means full shuffle.
+	// With r < 1 partitions get 2x slack slots to absorb imbalance.
+	ShuffleRatio float64
+	// BackgroundShuffle models the paper's §5.1 "non-shuffle case"
+	// (Figure 5-2): the shuffle runs off the critical path — offline,
+	// or on the remote server so it never crosses the network — and
+	// its time is recorded (ShuffleTime) but not added to the global
+	// clock. The paper bounds the resulting gain at 32x over the
+	// baseline for the Table 5-1 scenario.
+	BackgroundShuffle bool
+	// Sealer seals blocks on both tiers; required.
+	Sealer blockcipher.Sealer
+	// RNG drives all randomness; required and must be dedicated.
+	RNG *blockcipher.RNG
+	// MemProfile and StorProfile pick the device models; zero values
+	// select device.DRAM() and device.PaperHDD().
+	MemProfile  device.Profile
+	StorProfile device.Profile
+}
+
+func (c Config) validate() error {
+	if c.Blocks <= 0 {
+		return fmt.Errorf("horam: Blocks must be positive, got %d", c.Blocks)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("horam: BlockSize must be positive, got %d", c.BlockSize)
+	}
+	if c.MemoryBytes <= 0 {
+		return errors.New("horam: MemoryBytes must be positive")
+	}
+	if c.Z < 0 {
+		return errors.New("horam: Z must be non-negative")
+	}
+	if c.Sealer == nil {
+		return errors.New("horam: Sealer is required")
+	}
+	if c.RNG == nil {
+		return errors.New("horam: RNG is required")
+	}
+	if c.ShuffleRatio < 0 || c.ShuffleRatio > 1 {
+		return fmt.Errorf("horam: ShuffleRatio %v out of [0,1]", c.ShuffleRatio)
+	}
+	sum := 0.0
+	for _, s := range c.Stages {
+		if s.C <= 0 || s.Frac < 0 {
+			return fmt.Errorf("horam: invalid stage %+v", s)
+		}
+		sum += s.Frac
+	}
+	if c.Stages != nil && math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("horam: stage fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// SlotSize returns the sealed slot size on both tiers.
+func (c Config) SlotSize() int { return 8 + c.BlockSize + c.Sealer.Overhead() }
+
+// Stats aggregates a run's scheme-level counters.
+type Stats struct {
+	Requests     int64 // logical requests completed
+	Cycles       int64 // scheduler cycles executed
+	Misses       int64 // storage loads for requested blocks
+	Hits         int64 // requests served by the memory tier
+	DummyIO      int64 // dummy storage loads (random prefetches)
+	DummyMemory  int64 // padding path accesses in the memory tier
+	Shuffles     int64 // shuffle periods completed
+	PartShuffled int64 // partitions reshuffled in total
+	EvictedReal  int64 // real blocks evicted from the tree across shuffles
+}
+
+// ORAM is an H-ORAM instance. Not safe for concurrent use; the
+// multi-user front end in this package serialises submissions.
+type ORAM struct {
+	cfg    Config
+	stages []Stage
+	depth  int
+
+	clk     *simclock.Clock // global wall clock (overlap-aware)
+	clkMem  *simclock.Clock // memory-tier private clock
+	clkStor *simclock.Clock // storage-tier private clock
+	acct    *simclock.Accumulator
+
+	mem     *pathoram.ORAM
+	memDev  *device.Sim
+	storDev *device.Sim
+
+	perm       *posmap.PermutationList
+	partitions int64 // P = ⌈√N⌉
+	partSlots  int64 // slots per partition (with slack when r < 1)
+	nextPart   int64 // partial shuffle cursor
+
+	missBudget int64 // storage loads allowed per access period (n/2)
+	missCount  int64 // loads so far this period
+	inShuffle  bool  // a shuffle period is executing
+
+	rob   []*Request
+	stats Stats
+}
+
+// Request is one queued logical operation. After a batch completes,
+// Result holds the block contents for reads (and the previous contents
+// for writes). User tags the issuing client in multi-user runs.
+type Request struct {
+	Op     Op
+	Addr   int64
+	Data   []byte
+	Result []byte
+	User   int
+
+	done bool
+}
+
+// New constructs an H-ORAM, building both simulated devices and
+// writing the initial permuted storage layout (unmeasured setup).
+func New(cfg Config) (*ORAM, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Z == 0 {
+		cfg.Z = 4
+	}
+	stages := cfg.Stages
+	if stages == nil {
+		stages = PaperStages()
+	}
+	maxC := 0
+	for _, s := range stages {
+		if s.C > maxC {
+			maxC = s.C
+		}
+	}
+	depth := cfg.PrefetchDepth
+	if depth == 0 {
+		depth = 2*maxC + 2
+	}
+	if depth <= maxC {
+		return nil, fmt.Errorf("horam: PrefetchDepth %d must exceed the largest stage C %d", depth, maxC)
+	}
+
+	memProfile := cfg.MemProfile
+	if memProfile == (device.Profile{}) {
+		memProfile = device.DRAM()
+	}
+	storProfile := cfg.StorProfile
+	if storProfile == (device.Profile{}) {
+		storProfile = device.PaperHDD()
+	}
+
+	slotSize := cfg.SlotSize()
+	memSlots := cfg.MemoryBytes / int64(cfg.BlockSize)
+	if memSlots < int64(cfg.Z) {
+		return nil, fmt.Errorf("horam: memory budget %d bytes holds %d slots; need at least one bucket (%d)", cfg.MemoryBytes, memSlots, cfg.Z)
+	}
+
+	o := &ORAM{
+		cfg:     cfg,
+		stages:  stages,
+		depth:   depth,
+		clk:     simclock.New(),
+		clkMem:  simclock.New(),
+		clkStor: simclock.New(),
+		acct:    simclock.NewAccumulator(),
+	}
+
+	// Memory tier: the largest Path ORAM tree that fits the budget.
+	geom, err := oramtree.FitCapacity(memSlots, cfg.Z)
+	if err != nil {
+		return nil, fmt.Errorf("horam: %w", err)
+	}
+	o.memDev, err = device.New(memProfile, slotSize, geom.Slots(), o.clkMem)
+	if err != nil {
+		return nil, err
+	}
+	memCfg := pathoram.Config{
+		Blocks:    cfg.Blocks,
+		BlockSize: cfg.BlockSize,
+		Z:         cfg.Z,
+		Capacity:  geom.Slots(),
+		Sealer:    cfg.Sealer,
+		RNG:       cfg.RNG.Fork("mem-oram"),
+	}
+	o.mem, err = pathoram.New(memCfg, o.memDev)
+	if err != nil {
+		return nil, err
+	}
+	o.missBudget = o.mem.Capacity()
+	if o.missBudget < 1 {
+		return nil, errors.New("horam: memory tree too small to cache any block")
+	}
+
+	// Storage tier: √N partitions.
+	o.partitions = int64(math.Ceil(math.Sqrt(float64(cfg.Blocks))))
+	perPart := (cfg.Blocks + o.partitions - 1) / o.partitions
+	slack := int64(1)
+	if cfg.ShuffleRatio > 0 && cfg.ShuffleRatio < 1 {
+		slack = 2
+	}
+	o.partSlots = perPart * slack
+	o.storDev, err = device.New(storProfile, slotSize, o.partitions*o.partSlots, o.clkStor)
+	if err != nil {
+		return nil, err
+	}
+	o.perm, err = posmap.NewPermutationList(cfg.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.initStorage(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Mem returns the memory-tier device for stats collection.
+func (o *ORAM) Mem() *device.Sim { return o.memDev }
+
+// Stor returns the storage-tier device for stats collection.
+func (o *ORAM) Stor() *device.Sim { return o.storDev }
+
+// Clock returns the global (overlap-aware) virtual clock.
+func (o *ORAM) Clock() *simclock.Clock { return o.clk }
+
+// Accounting returns per-phase virtual time buckets ("access",
+// "shuffle").
+func (o *ORAM) Accounting() *simclock.Accumulator { return o.acct }
+
+// Stats returns scheme-level counters.
+func (o *ORAM) Stats() Stats { return o.stats }
+
+// InShuffle reports whether a shuffle period is currently executing;
+// device hooks use it to classify observed traffic.
+func (o *ORAM) InShuffle() bool { return o.inShuffle }
+
+// Partitions returns the storage partition count √N.
+func (o *ORAM) Partitions() int64 { return o.partitions }
+
+// PartitionSlots returns the slots per partition.
+func (o *ORAM) PartitionSlots() int64 { return o.partSlots }
+
+// MissBudget returns the storage loads allowed per access period
+// (the paper's n/2).
+func (o *ORAM) MissBudget() int64 { return o.missBudget }
+
+// MemTreeCapacity returns the memory tree's real-block capacity.
+func (o *ORAM) MemTreeCapacity() int64 { return o.mem.Capacity() }
+
+// currentC returns the stage group size for the current point in the
+// period, measured by the fraction of the miss budget consumed.
+func (o *ORAM) currentC() int {
+	progress := float64(o.missCount) / float64(o.missBudget)
+	acc := 0.0
+	for _, s := range o.stages {
+		acc += s.Frac
+		if progress < acc {
+			return s.C
+		}
+	}
+	return o.stages[len(o.stages)-1].C
+}
+
+// overlap runs the memory-phase and storage-phase thunks, charging the
+// global clock max(Δmem, Δstor): the paper issues the I/O load and the
+// in-memory reads of one cycle simultaneously.
+func (o *ORAM) overlap(memPhase, storPhase func() error) error {
+	m0, s0 := o.clkMem.Now(), o.clkStor.Now()
+	if err := storPhase(); err != nil {
+		return err
+	}
+	if err := memPhase(); err != nil {
+		return err
+	}
+	dm, ds := o.clkMem.Now()-m0, o.clkStor.Now()-s0
+	d := dm
+	if ds > d {
+		d = ds
+	}
+	o.clk.Advance(d)
+	o.acct.Add("access", d)
+	return nil
+}
+
+// serial charges the global clock the sum of both tiers' deltas across
+// fn — shuffle work is serialised on the storage device. With
+// BackgroundShuffle the time is recorded in the accounting bucket but
+// the global clock does not advance (the work happens off the
+// critical path).
+func (o *ORAM) serial(bucket string, fn func() error) error {
+	m0, s0 := o.clkMem.Now(), o.clkStor.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	d := (o.clkMem.Now() - m0) + (o.clkStor.Now() - s0)
+	if !o.cfg.BackgroundShuffle {
+		o.clk.Advance(d)
+	}
+	o.acct.Add(bucket, d)
+	return nil
+}
+
+// AccessTime returns virtual time spent in access periods.
+func (o *ORAM) AccessTime() time.Duration { return o.acct.Get("access") }
+
+// ShuffleTime returns virtual time spent in shuffle periods.
+func (o *ORAM) ShuffleTime() time.Duration { return o.acct.Get("shuffle") }

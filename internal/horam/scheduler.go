@@ -1,0 +1,191 @@
+package horam
+
+import (
+	"fmt"
+
+	"repro/internal/pathoram"
+	"repro/internal/posmap"
+)
+
+// Submit queues requests into the ROB table without executing them.
+// Data slices for writes are copied.
+func (o *ORAM) Submit(reqs ...*Request) error {
+	for _, r := range reqs {
+		if r == nil {
+			return fmt.Errorf("horam: nil request")
+		}
+		if r.Addr < 0 || r.Addr >= o.cfg.Blocks {
+			return fmt.Errorf("horam: address %d out of range [0,%d)", r.Addr, o.cfg.Blocks)
+		}
+		if r.Op == OpWrite {
+			if len(r.Data) != o.cfg.BlockSize {
+				return fmt.Errorf("horam: write payload %d bytes, want %d", len(r.Data), o.cfg.BlockSize)
+			}
+			owned := make([]byte, len(r.Data))
+			copy(owned, r.Data)
+			r.Data = owned
+		}
+		r.done = false
+		o.rob = append(o.rob, r)
+	}
+	return nil
+}
+
+// Pending returns the number of queued, uncompleted requests.
+func (o *ORAM) Pending() int { return len(o.rob) }
+
+// Drain runs scheduler cycles until the ROB table is empty. Each
+// cycle issues exactly one storage load (a real miss from the window
+// when available, a random prefetch otherwise) overlapped with exactly
+// c memory-tier path accesses (hits from the window, padded with
+// dummies), so every cycle shows the adversary the same shape
+// regardless of the actual hit/miss mix (§4.2).
+func (o *ORAM) Drain() error {
+	for len(o.rob) > 0 {
+		if err := o.cycle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cycle executes one scheduling group.
+func (o *ORAM) cycle() error {
+	c := o.currentC()
+
+	// Scan the prefetch window for the first miss and up to c hits.
+	window := o.rob
+	if len(window) > o.depth {
+		window = window[:o.depth]
+	}
+	var miss *Request
+	var hits []*Request
+	for _, r := range window {
+		e, err := o.perm.Lookup(r.Addr)
+		if err != nil {
+			return err
+		}
+		switch {
+		case e.Tier == posmap.TierMemory && len(hits) < c:
+			hits = append(hits, r)
+		case e.Tier == posmap.TierStorage && miss == nil:
+			// Two queued requests may miss on the same address; only
+			// the first becomes the cycle's load, the other waits to
+			// be served as a hit next cycle. (A repeated address later
+			// in the window is already classified as a memory hit once
+			// the first fetch lands, so no double-fetch can occur —
+			// Lookup reflects residency at scan time, and we fetch at
+			// most one block per cycle.)
+			miss = r
+		}
+		if miss != nil && len(hits) == c {
+			break
+		}
+	}
+
+	storPhase := func() error {
+		if miss != nil {
+			if err := o.fetchBlock(miss.Addr); err != nil {
+				return err
+			}
+			o.stats.Misses++
+			return nil
+		}
+		ok, err := o.dummyFetch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Storage exhausted: nothing fetchable remains. The period
+			// must end; the shuffle below restores fetchability.
+			o.missCount = o.missBudget
+		}
+		return nil
+	}
+	memPhase := func() error {
+		for _, r := range hits {
+			if err := o.serveHit(r); err != nil {
+				return err
+			}
+		}
+		for pad := len(hits); pad < c; pad++ {
+			if err := o.mem.DummyAccess(); err != nil {
+				return err
+			}
+			o.stats.DummyMemory++
+		}
+		return nil
+	}
+	if err := o.overlap(memPhase, storPhase); err != nil {
+		return err
+	}
+	o.stats.Cycles++
+
+	// Remove completed requests.
+	kept := o.rob[:0]
+	for _, r := range o.rob {
+		if !r.done {
+			kept = append(kept, r)
+		}
+	}
+	o.rob = kept
+
+	if o.missCount >= o.missBudget {
+		if err := o.evictAndShuffle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveHit completes one request against the memory tree.
+func (o *ORAM) serveHit(r *Request) error {
+	var result []byte
+	var err error
+	if r.Op == OpWrite {
+		result, err = o.mem.Access(pathoram.OpWrite, r.Addr, r.Data)
+	} else {
+		result, err = o.mem.Access(pathoram.OpRead, r.Addr, nil)
+	}
+	if err != nil {
+		return err
+	}
+	r.Result = result
+	r.done = true
+	o.stats.Hits++
+	o.stats.Requests++
+	return nil
+}
+
+// Read enqueues and completes a single read request.
+func (o *ORAM) Read(addr int64) ([]byte, error) {
+	r := &Request{Op: OpRead, Addr: addr}
+	if err := o.Submit(r); err != nil {
+		return nil, err
+	}
+	if err := o.Drain(); err != nil {
+		return nil, err
+	}
+	return r.Result, nil
+}
+
+// Write enqueues and completes a single write request. The previous
+// block contents are discarded.
+func (o *ORAM) Write(addr int64, data []byte) error {
+	r := &Request{Op: OpWrite, Addr: addr, Data: data}
+	if err := o.Submit(r); err != nil {
+		return err
+	}
+	return o.Drain()
+}
+
+// RunBatch queues all requests and drains the scheduler. This is the
+// paper's operating mode: a full ROB gives the prefetcher real work to
+// group, so the dummy-padding rate is far lower than with one request
+// at a time.
+func (o *ORAM) RunBatch(reqs []*Request) error {
+	if err := o.Submit(reqs...); err != nil {
+		return err
+	}
+	return o.Drain()
+}

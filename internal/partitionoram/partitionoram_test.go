@@ -1,0 +1,200 @@
+package partitionoram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/simclock"
+)
+
+func testConfig(blocks int64, blockSize int) Config {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(200 + i)
+	}
+	rng := blockcipher.NewRNGFromString("part-test")
+	sealer, err := blockcipher.NewAESSealer(key, rng.Fork("sealer"))
+	if err != nil {
+		panic(err)
+	}
+	return Config{Blocks: blocks, BlockSize: blockSize, Sealer: sealer, RNG: rng.Fork("oram")}
+}
+
+func build(t *testing.T, blocks int64, blockSize int) (*ORAM, *device.Sim) {
+	t.Helper()
+	cfg := testConfig(blocks, blockSize)
+	clk := simclock.New()
+	dev, err := device.New(device.PaperHDD(), cfg.SlotSize(), 4*blocks+256, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, dev
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testConfig(16, 32)
+	clk := simclock.New()
+	dev, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 256, clk)
+
+	bad := cfg
+	bad.Blocks = -1
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted negative blocks")
+	}
+	bad = cfg
+	bad.BlockSize = 0
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted zero block size")
+	}
+	bad = cfg
+	bad.EvictEvery = 100 // ≥ √16
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted EvictEvery ≥ √N")
+	}
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("accepted nil device")
+	}
+	tiny, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 8, clk)
+	if _, err := New(cfg, tiny); err == nil {
+		t.Error("accepted undersized device")
+	}
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	o, _ := build(t, 100, 16)
+	if o.Partitions() != 10 {
+		t.Fatalf("Partitions() = %d, want 10", o.Partitions())
+	}
+	if o.EvictEvery() != 5 {
+		t.Fatalf("EvictEvery() = %d, want 5", o.EvictEvery())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	o, _ := build(t, 64, 32)
+	want := bytes.Repeat([]byte{0x99}, 32)
+	if err := o.Write(33, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestChurnAcrossEvictions(t *testing.T) {
+	const blocks = 64
+	o, _ := build(t, blocks, 16)
+	fill := func(b byte) []byte { return bytes.Repeat([]byte{b}, 16) }
+	version := make(map[int64]byte)
+	for a := int64(0); a < blocks; a++ {
+		if err := o.Write(a, fill(byte(a))); err != nil {
+			t.Fatal(err)
+		}
+		version[a] = byte(a)
+	}
+	rng := blockcipher.NewRNGFromString("part-churn")
+	for i := 0; i < 400; i++ {
+		a := rng.Int63n(blocks)
+		if rng.Intn(3) == 0 {
+			v := byte(rng.Intn(256))
+			if err := o.Write(a, fill(v)); err != nil {
+				t.Fatal(err)
+			}
+			version[a] = v
+		} else {
+			got, err := o.Read(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, fill(version[a])) {
+				t.Fatalf("iteration %d: Read(%d) corrupted", i, a)
+			}
+		}
+	}
+	if o.Stats().Evictions == 0 {
+		t.Fatal("no evictions occurred")
+	}
+}
+
+func TestEvictionShufflesOnePartition(t *testing.T) {
+	o, dev := build(t, 64, 16) // 8 partitions of 16 slots, v = 4
+	dev.ResetStats()
+
+	// Three accesses: 3 reads (+3 invalidation writes), no eviction.
+	for i := int64(0); i < 3; i++ {
+		if _, err := o.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Stats().Evictions != 0 {
+		t.Fatal("eviction fired early")
+	}
+	readsBefore := dev.Stats().Reads
+	// Fourth access triggers eviction: one partition read+write.
+	if _, err := o.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", o.Stats().Evictions)
+	}
+	extraReads := dev.Stats().Reads - readsBefore
+	// 1 access read + 16 partition-slot reads.
+	if extraReads != 17 {
+		t.Fatalf("eviction access read %d slots, want 17 (1 + one partition)", extraReads)
+	}
+}
+
+func TestStashHitMasked(t *testing.T) {
+	o, dev := build(t, 64, 16)
+	if _, err := o.Read(7); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Stats().Reads
+	if _, err := o.Read(7); err != nil { // stash hit
+		t.Fatal(err)
+	}
+	if got := dev.Stats().Reads - before; got != 1 {
+		t.Fatalf("stash hit issued %d storage reads, want 1 (mask)", got)
+	}
+	if o.Stats().StashHits != 1 || o.Stats().DummyReads != 1 {
+		t.Fatalf("stats = %+v", o.Stats())
+	}
+}
+
+func TestStashDrainsToPartitions(t *testing.T) {
+	o, _ := build(t, 64, 16)
+	for i := int64(0); i < 16; i++ { // 4 evictions at v=4
+		if _, err := o.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Stats().Evictions != 4 {
+		t.Fatalf("Evictions = %d, want 4", o.Stats().Evictions)
+	}
+	if o.StashLen() != 0 {
+		t.Fatalf("stash holds %d blocks after eviction, want 0 (no overflow at this load)", o.StashLen())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	o, _ := build(t, 16, 8)
+	if _, err := o.Read(-1); err == nil {
+		t.Error("Read(-1) passed")
+	}
+	if _, err := o.Read(16); err == nil {
+		t.Error("Read(16) passed")
+	}
+	if err := o.Write(0, make([]byte, 4)); err == nil {
+		t.Error("short write passed")
+	}
+}

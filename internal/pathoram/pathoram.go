@@ -1,0 +1,491 @@
+// Package pathoram implements the non-recursive Path ORAM of Stefanov
+// et al., the scheme the paper both builds on (H-ORAM's in-memory
+// cache tier is a Path ORAM tree) and compares against (the tree-top
+// cache baseline is a Path ORAM spanning memory and storage).
+//
+// The tree lives on a device.Device: bucket b occupies device slots
+// [b·Z, (b+1)·Z), every slot holding one sealed block record. Real and
+// dummy records seal to the same length, so an adversary watching the
+// device sees only which buckets are touched — and Path ORAM touches
+// exactly one random root-to-leaf path per access.
+package pathoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/oramtree"
+	"repro/internal/posmap"
+	"repro/internal/stash"
+)
+
+// Op selects the access type.
+type Op uint8
+
+// Access operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// dummyAddr marks a slot holding no real block.
+const dummyAddr = int64(-1)
+
+// headerSize is the per-slot plaintext header: the block address.
+const headerSize = 8
+
+// Config parameterises a Path ORAM instance.
+type Config struct {
+	// Blocks is the number of addressable logical blocks N.
+	Blocks int64
+	// BlockSize is the plaintext payload size in bytes.
+	BlockSize int
+	// Z is the bucket size; the paper uses Z = 4.
+	Z int
+	// Capacity optionally overrides the tree's slot capacity; zero
+	// means the standard 2·Blocks (≤ 50% utilisation). H-ORAM sizes
+	// its memory tree by the memory budget n rather than by N.
+	Capacity int64
+	// Sealer encrypts slots; required.
+	Sealer blockcipher.Sealer
+	// RNG drives leaf assignment and must be dedicated to this ORAM.
+	RNG *blockcipher.RNG
+	// StashLimit bounds the stash (0 = unbounded; experiments measure
+	// the peak instead of failing).
+	StashLimit int
+	// Positions overrides where the position map lives. Nil keeps the
+	// classic in-controller map (the paper's "naive setting, no
+	// recursive"); the recursive construction plugs in a store backed
+	// by smaller ORAMs here.
+	Positions PositionStore
+}
+
+// PositionStore is the position-map dependency of the ORAM: logical
+// address → current leaf. posmap.PositionMap satisfies it natively;
+// RecursivePositions implements it on top of smaller ORAMs.
+type PositionStore interface {
+	// Get returns the leaf addr maps to, or posmap.NoLeaf.
+	Get(addr int64) (int64, error)
+	// Set pins addr to leaf (posmap.NoLeaf unmaps it).
+	Set(addr, leaf int64) error
+	// Remap assigns addr a fresh uniform leaf and returns it.
+	Remap(addr int64) (int64, error)
+	// Clear unmaps every address.
+	Clear()
+}
+
+func (c Config) validate() error {
+	if c.Blocks <= 0 {
+		return fmt.Errorf("pathoram: Blocks must be positive, got %d", c.Blocks)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("pathoram: BlockSize must be positive, got %d", c.BlockSize)
+	}
+	if c.Z <= 0 {
+		return fmt.Errorf("pathoram: Z must be positive, got %d", c.Z)
+	}
+	if c.Sealer == nil {
+		return errors.New("pathoram: Sealer is required")
+	}
+	if c.RNG == nil {
+		return errors.New("pathoram: RNG is required")
+	}
+	return nil
+}
+
+// SlotSize returns the sealed on-device slot size implied by cfg.
+func (c Config) SlotSize() int { return headerSize + c.BlockSize + c.Sealer.Overhead() }
+
+// Stats counts ORAM-level work (device-level traffic is on the device).
+type Stats struct {
+	Accesses     int64 // logical accesses served
+	DummyAccess  int64 // padding path accesses (no logical block)
+	BucketReads  int64 // buckets fetched
+	BucketWrites int64 // buckets written back
+	Inserts      int64 // blocks injected directly into the stash
+}
+
+// ORAM is a device-backed Path ORAM. Not safe for concurrent use.
+type ORAM struct {
+	cfg   Config
+	geom  oramtree.Geometry
+	dev   device.Device
+	pm    PositionStore
+	stash *stash.Stash
+	real  int64 // blocks currently held (tree + stash)
+	stats Stats
+
+	slotBuf []byte // scratch for device reads
+}
+
+// New builds a Path ORAM over dev and fills the tree with sealed
+// dummies. The device must have exactly the geometry's slot count or
+// more, with SlotSize matching cfg.SlotSize(). Initialisation uses the
+// device's raw path when available (it is setup, not measured work).
+func New(cfg Config, dev device.Device) (*ORAM, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = 2 * cfg.Blocks
+	}
+	geom, err := oramtree.ForCapacity(capacity, cfg.Z)
+	if err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		return nil, errors.New("pathoram: nil device")
+	}
+	if dev.SlotSize() != cfg.SlotSize() {
+		return nil, fmt.Errorf("pathoram: device slot size %d, config needs %d", dev.SlotSize(), cfg.SlotSize())
+	}
+	if dev.Slots() < geom.Slots() {
+		return nil, fmt.Errorf("pathoram: device has %d slots, tree needs %d", dev.Slots(), geom.Slots())
+	}
+	pm := cfg.Positions
+	if pm == nil {
+		var err error
+		pm, err = posmap.NewPositionMap(cfg.Blocks, geom.Leaves(), cfg.RNG.Fork("posmap"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	o := &ORAM{
+		cfg:     cfg,
+		geom:    geom,
+		dev:     dev,
+		pm:      pm,
+		stash:   stash.New(cfg.StashLimit),
+		slotBuf: make([]byte, cfg.SlotSize()),
+	}
+	if err := o.clearTree(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// rawWriter is the optional fast-path devices expose for unmeasured
+// setup writes.
+type rawWriter interface {
+	WriteRaw(slot int64, src []byte) error
+}
+
+// clearTree seals a dummy into every slot of the tree.
+func (o *ORAM) clearTree() error {
+	rw, hasRaw := o.dev.(rawWriter)
+	for slot := int64(0); slot < o.geom.Slots(); slot++ {
+		sealed, err := o.sealRecord(dummyAddr, nil)
+		if err != nil {
+			return err
+		}
+		if hasRaw {
+			err = rw.WriteRaw(slot, sealed)
+		} else {
+			err = o.dev.Write(slot, sealed)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealRecord encodes and seals one slot record.
+func (o *ORAM) sealRecord(addr int64, payload []byte) ([]byte, error) {
+	pt := make([]byte, headerSize+o.cfg.BlockSize)
+	binary.BigEndian.PutUint64(pt[:headerSize], uint64(addr))
+	copy(pt[headerSize:], payload)
+	return o.cfg.Sealer.Seal(pt)
+}
+
+// openRecord unseals one slot record, returning the address and a
+// freshly allocated payload.
+func (o *ORAM) openRecord(sealed []byte) (int64, []byte, error) {
+	pt, err := o.cfg.Sealer.Open(sealed)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(pt) != headerSize+o.cfg.BlockSize {
+		return 0, nil, fmt.Errorf("pathoram: decrypted record is %d bytes, want %d", len(pt), headerSize+o.cfg.BlockSize)
+	}
+	addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
+	return addr, pt[headerSize:], nil
+}
+
+// Geometry returns the tree geometry.
+func (o *ORAM) Geometry() oramtree.Geometry { return o.geom }
+
+// Stats returns ORAM-level counters.
+func (o *ORAM) Stats() Stats { return o.stats }
+
+// StashLen returns the current stash occupancy.
+func (o *ORAM) StashLen() int { return o.stash.Len() }
+
+// StashPeak returns the peak stash occupancy observed.
+func (o *ORAM) StashPeak() int { return o.stash.Peak() }
+
+// RealCount returns the number of real blocks currently held.
+func (o *ORAM) RealCount() int64 { return o.real }
+
+// Capacity returns the maximum number of real blocks this instance is
+// meant to hold (half the tree's slots, the paper's 50% utilisation
+// bound).
+func (o *ORAM) Capacity() int64 { return o.geom.Slots() / 2 }
+
+func (o *ORAM) checkAddr(addr int64) error {
+	if addr < 0 || addr >= o.cfg.Blocks {
+		return fmt.Errorf("pathoram: address %d out of range [0,%d)", addr, o.cfg.Blocks)
+	}
+	return nil
+}
+
+// readPath fetches every bucket on the path to leaf into the stash.
+func (o *ORAM) readPath(leaf int64) error {
+	for _, bucket := range o.geom.Path(leaf) {
+		base := o.geom.SlotBase(bucket)
+		for z := 0; z < o.cfg.Z; z++ {
+			if err := o.dev.Read(base+int64(z), o.slotBuf); err != nil {
+				return err
+			}
+			addr, payload, err := o.openRecord(o.slotBuf)
+			if err != nil {
+				return fmt.Errorf("pathoram: bucket %d slot %d: %w", bucket, z, err)
+			}
+			if addr == dummyAddr {
+				continue
+			}
+			if err := o.stash.Put(addr, payload); err != nil {
+				return err
+			}
+		}
+		o.stats.BucketReads++
+	}
+	return nil
+}
+
+// writePath evicts stash blocks back onto the path to leaf, deepest
+// level first, padding every remaining slot with dummies.
+func (o *ORAM) writePath(leaf int64) error {
+	path := o.geom.Path(leaf)
+	for level := o.geom.Levels; level >= 0; level-- {
+		bucket := path[level]
+		base := o.geom.SlotBase(bucket)
+		placed := 0
+		for _, addr := range o.stash.Addrs() {
+			if placed == o.cfg.Z {
+				break
+			}
+			blockLeaf, err := o.pm.Get(addr)
+			if err != nil {
+				return err
+			}
+			if blockLeaf == posmap.NoLeaf {
+				continue
+			}
+			if o.geom.CommonLevel(blockLeaf, leaf) < level {
+				continue
+			}
+			payload, _ := o.stash.Take(addr)
+			sealed, err := o.sealRecord(addr, payload)
+			if err != nil {
+				return err
+			}
+			if err := o.dev.Write(base+int64(placed), sealed); err != nil {
+				return err
+			}
+			placed++
+		}
+		for ; placed < o.cfg.Z; placed++ {
+			sealed, err := o.sealRecord(dummyAddr, nil)
+			if err != nil {
+				return err
+			}
+			if err := o.dev.Write(base+int64(placed), sealed); err != nil {
+				return err
+			}
+		}
+		o.stats.BucketWrites++
+	}
+	return nil
+}
+
+// Access performs one Path ORAM operation. For OpRead, data is ignored
+// and the block's current contents (zeros if never written) are
+// returned. For OpWrite, data is stored and the previous contents are
+// returned. Either way the same path-read, remap, path-write sequence
+// executes, so reads and writes are indistinguishable on the bus.
+func (o *ORAM) Access(op Op, addr int64, data []byte) ([]byte, error) {
+	if err := o.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	if op == OpWrite && len(data) != o.cfg.BlockSize {
+		return nil, fmt.Errorf("pathoram: write payload %d bytes, want %d", len(data), o.cfg.BlockSize)
+	}
+
+	leaf, err := o.pm.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	fresh := leaf == posmap.NoLeaf
+	if fresh {
+		// Unmapped block: still read a uniformly random path so the
+		// bus pattern never reveals first-touch.
+		leaf = o.cfg.RNG.Int63n(o.geom.Leaves())
+	}
+	if err := o.readPath(leaf); err != nil {
+		return nil, err
+	}
+
+	current, inStash := o.stash.Take(addr)
+	if !inStash {
+		current = make([]byte, o.cfg.BlockSize)
+		if !fresh {
+			// Mapped but absent: corruption (or stash overflow loss).
+			return nil, fmt.Errorf("pathoram: block %d mapped to leaf %d but not found on path", addr, leaf)
+		}
+	}
+	if fresh && op == OpWrite {
+		o.real++
+	}
+
+	// Remap to a fresh uniform leaf before write-back.
+	if _, err := o.pm.Remap(addr); err != nil {
+		return nil, err
+	}
+
+	stored := current
+	if op == OpWrite {
+		stored = make([]byte, o.cfg.BlockSize)
+		copy(stored, data)
+	} else if fresh {
+		// A read of a never-written block does not allocate state.
+		if err := o.pm.Set(addr, posmap.NoLeaf); err != nil {
+			return nil, err
+		}
+		if err := o.writePath(leaf); err != nil {
+			return nil, err
+		}
+		o.stats.Accesses++
+		return current, nil
+	}
+	if err := o.stash.Put(addr, stored); err != nil {
+		return nil, err
+	}
+	if err := o.writePath(leaf); err != nil {
+		return nil, err
+	}
+	o.stats.Accesses++
+	return current, nil
+}
+
+// Read fetches the block at addr.
+func (o *ORAM) Read(addr int64) ([]byte, error) { return o.Access(OpRead, addr, nil) }
+
+// Write stores data at addr.
+func (o *ORAM) Write(addr int64, data []byte) error {
+	_, err := o.Access(OpWrite, addr, data)
+	return err
+}
+
+// DummyAccess reads and rewrites one uniformly random path without
+// touching any logical block — the padding operation H-ORAM's
+// scheduler issues when a group cannot be filled with real requests.
+func (o *ORAM) DummyAccess() error {
+	leaf := o.cfg.RNG.Int63n(o.geom.Leaves())
+	if err := o.readPath(leaf); err != nil {
+		return err
+	}
+	if err := o.writePath(leaf); err != nil {
+		return err
+	}
+	o.stats.DummyAccess++
+	return nil
+}
+
+// Insert places a block directly into the stash with a fresh random
+// leaf, without a path access. H-ORAM uses this when the storage-layer
+// I/O delivers a missed block into the memory tree's stash (§4.1); the
+// block migrates into the tree on subsequent write-backs.
+//
+// The address must not already be resident in the tree (H-ORAM's
+// permutation list guarantees a block is fetched from storage at most
+// once per period): inserting over a tree-resident block would leave a
+// stale copy behind, so it is rejected. Re-inserting while the block
+// is still in the stash simply replaces the stash copy.
+func (o *ORAM) Insert(addr int64, data []byte) error {
+	if err := o.checkAddr(addr); err != nil {
+		return err
+	}
+	if len(data) != o.cfg.BlockSize {
+		return fmt.Errorf("pathoram: insert payload %d bytes, want %d", len(data), o.cfg.BlockSize)
+	}
+	existing, err := o.pm.Get(addr)
+	if err != nil {
+		return err
+	}
+	if existing != posmap.NoLeaf && !o.stash.Has(addr) {
+		return fmt.Errorf("pathoram: Insert(%d): block already resident in the tree; use Write", addr)
+	}
+	if existing == posmap.NoLeaf {
+		o.real++
+	}
+	if _, err := o.pm.Remap(addr); err != nil {
+		return err
+	}
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	if err := o.stash.Put(addr, owned); err != nil {
+		return err
+	}
+	o.stats.Inserts++
+	return nil
+}
+
+// Has reports whether addr currently holds a real block.
+func (o *ORAM) Has(addr int64) (bool, error) {
+	if err := o.checkAddr(addr); err != nil {
+		return false, err
+	}
+	if o.stash.Has(addr) {
+		return true, nil
+	}
+	leaf, err := o.pm.Get(addr)
+	if err != nil {
+		return false, err
+	}
+	return leaf != posmap.NoLeaf, nil
+}
+
+// DrainAll reads the entire tree (sequentially — this is the bulk scan
+// H-ORAM's evict phase performs), combines it with the stash, and
+// returns every real block in ascending address order. The tree is
+// re-filled with dummies and the position map cleared: the ORAM is
+// empty afterwards.
+func (o *ORAM) DrainAll() ([]stash.Block, error) {
+	for slot := int64(0); slot < o.geom.Slots(); slot++ {
+		if err := o.dev.Read(slot, o.slotBuf); err != nil {
+			return nil, err
+		}
+		addr, payload, err := o.openRecord(o.slotBuf)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: drain slot %d: %w", slot, err)
+		}
+		if addr == dummyAddr {
+			continue
+		}
+		if err := o.stash.Put(addr, payload); err != nil {
+			return nil, err
+		}
+	}
+	blocks := o.stash.Drain()
+	o.pm.Clear()
+	o.real = 0
+	if err := o.clearTree(); err != nil {
+		return nil, err
+	}
+	return blocks, nil
+}

@@ -1,0 +1,282 @@
+package pathoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/oramtree"
+	"repro/internal/posmap"
+)
+
+// This file implements the recursive position map of Stefanov et al.
+// The paper evaluates the "naive setting (no recursive)" and lists
+// position-map optimisations as directly applicable to H-ORAM (§5.3);
+// this is that extension: instead of holding N leaf labels in trusted
+// memory, the map is packed into blocks and stored in a smaller Path
+// ORAM, whose own map recurses again, until the top map is below a
+// cutoff and lives in the controller. Trusted state drops from O(N)
+// to O(cutoff) at the price of extra map-ORAM path accesses per
+// logical access.
+
+// DeviceFactory allocates backing storage for one recursion level.
+// The harness passes a closure that builds a device.Sim on the right
+// clock and latency profile.
+type DeviceFactory func(slotSize int, slots int64) (device.Device, error)
+
+// RecursiveConfig parameterises NewRecursive.
+type RecursiveConfig struct {
+	// Config is the data ORAM's configuration; its Positions field is
+	// ignored (the recursion supplies it).
+	Config
+	// EntriesPerBlock is how many leaf labels pack into one map block
+	// (map blocks are EntriesPerBlock·8 bytes). Zero selects
+	// BlockSize/8 capped at 64.
+	EntriesPerBlock int
+	// Cutoff is the map size at which recursion stops and the map
+	// stays in trusted memory. Zero selects 64 entries.
+	Cutoff int64
+}
+
+// Recursive is a Path ORAM whose position map is itself stored in
+// ORAMs. It exposes the same access API as ORAM.
+type Recursive struct {
+	*ORAM          // the data ORAM
+	maps   []*ORAM // map ORAMs, innermost (largest) first
+	levels int     // number of map levels
+	topLen int64   // entries kept in trusted memory
+}
+
+// MapLevels returns the number of ORAM-backed map levels.
+func (r *Recursive) MapLevels() int { return r.levels }
+
+// TrustedEntries returns how many position entries remain in trusted
+// memory (the top-level plain map).
+func (r *Recursive) TrustedEntries() int64 { return r.topLen }
+
+// MapORAM returns the i-th map ORAM (0 = the map of the data ORAM).
+func (r *Recursive) MapORAM(i int) *ORAM { return r.maps[i] }
+
+// NewRecursive builds the recursion. Each level's tree is allocated
+// through newDevice.
+func NewRecursive(cfg RecursiveConfig, newDevice DeviceFactory) (*Recursive, error) {
+	if err := cfg.Config.validate(); err != nil {
+		return nil, err
+	}
+	if newDevice == nil {
+		return nil, errors.New("pathoram: nil device factory")
+	}
+	entries := cfg.EntriesPerBlock
+	if entries == 0 {
+		entries = cfg.BlockSize / 8
+		if entries > 64 {
+			entries = 64
+		}
+	}
+	if entries < 2 {
+		return nil, fmt.Errorf("pathoram: EntriesPerBlock %d must be ≥ 2 (or BlockSize ≥ 16)", entries)
+	}
+	cutoff := cfg.Cutoff
+	if cutoff == 0 {
+		cutoff = 64
+	}
+
+	// Plan the levels: level 0 serves the data ORAM's Blocks entries.
+	var sizes []int64 // entry counts per ORAM-backed map level
+	need := cfg.Blocks
+	for need > cutoff {
+		sizes = append(sizes, need)
+		need = (need + int64(entries) - 1) / int64(entries) // blocks of the map ORAM
+	}
+
+	r := &Recursive{levels: len(sizes), topLen: need}
+
+	// Build from the top (smallest) down so each level's Positions is
+	// ready when the level below needs it.
+	r.maps = make([]*ORAM, len(sizes))
+	for i := len(sizes) - 1; i >= 0; i-- {
+		mapBlocks := (sizes[i] + int64(entries) - 1) / int64(entries)
+		mapCfg := Config{
+			Blocks:    mapBlocks,
+			BlockSize: entries * 8,
+			Z:         cfg.Z,
+			Sealer:    cfg.Sealer,
+			RNG:       cfg.RNG.Fork(fmt.Sprintf("map-oram-%d", i)),
+		}
+		// Position store for THIS map ORAM: either the trusted top map
+		// (first-built level) or the next-smaller map ORAM.
+		geomCapacity := mapCfg.Capacity
+		if geomCapacity == 0 {
+			geomCapacity = 2 * mapBlocks
+		}
+		if i == len(sizes)-1 {
+			// Trusted plain map sized for this ORAM's leaf domain.
+			geom, err := geometryFor(geomCapacity, cfg.Z)
+			if err != nil {
+				return nil, err
+			}
+			pm, err := posmap.NewPositionMap(mapBlocks, geom.Leaves(), cfg.RNG.Fork("trusted-top"))
+			if err != nil {
+				return nil, err
+			}
+			mapCfg.Positions = pm
+			r.topLen = mapBlocks
+		} else {
+			geom, err := geometryFor(geomCapacity, cfg.Z)
+			if err != nil {
+				return nil, err
+			}
+			mapCfg.Positions = &oramPositions{
+				oram:    r.maps[i+1],
+				entries: int64(entries),
+				leaves:  geom.Leaves(),
+				rng:     cfg.RNG.Fork(fmt.Sprintf("map-remap-%d", i)),
+			}
+		}
+		dev, err := newDevice(mapCfg.SlotSize(), treeSlotsFor(geomCapacity, cfg.Z))
+		if err != nil {
+			return nil, err
+		}
+		m, err := New(mapCfg, dev)
+		if err != nil {
+			return nil, err
+		}
+		if err := initNoLeaf(m, entries); err != nil {
+			return nil, err
+		}
+		r.maps[i] = m
+	}
+
+	// Finally the data ORAM, with its positions in maps[0] (or the
+	// placeholder trusted map when the whole thing fits the cutoff).
+	dataCfg := cfg.Config
+	dataCapacity := dataCfg.Capacity
+	if dataCapacity == 0 {
+		dataCapacity = 2 * dataCfg.Blocks
+	}
+	geom, err := geometryFor(dataCapacity, cfg.Z)
+	if err != nil {
+		return nil, err
+	}
+	if len(sizes) > 0 {
+		dataCfg.Positions = &oramPositions{
+			oram:    r.maps[0],
+			entries: int64(entries),
+			leaves:  geom.Leaves(),
+			rng:     cfg.RNG.Fork("data-remap"),
+		}
+	} else {
+		pm, err := posmap.NewPositionMap(cfg.Blocks, geom.Leaves(), cfg.RNG.Fork("flat"))
+		if err != nil {
+			return nil, err
+		}
+		dataCfg.Positions = pm
+		r.topLen = cfg.Blocks
+	}
+	dataDev, err := newDevice(dataCfg.SlotSize(), treeSlotsFor(dataCapacity, cfg.Z))
+	if err != nil {
+		return nil, err
+	}
+	data, err := New(dataCfg, dataDev)
+	if err != nil {
+		return nil, err
+	}
+	r.ORAM = data
+	return r, nil
+}
+
+// initNoLeaf writes a NoLeaf-filled payload into every map block so an
+// unread entry decodes as "unmapped" rather than leaf 0.
+func initNoLeaf(m *ORAM, entries int) error {
+	payload := make([]byte, entries*8)
+	for e := 0; e < entries; e++ {
+		binary.BigEndian.PutUint64(payload[e*8:], ^uint64(0))
+	}
+	for b := int64(0); b < m.cfg.Blocks; b++ {
+		if err := m.Write(b, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// oramPositions adapts a map ORAM into a PositionStore: entry addr
+// lives at offset (addr mod entries) of map block addr/entries, as a
+// big-endian uint64 with all-ones meaning NoLeaf.
+type oramPositions struct {
+	oram    *ORAM
+	entries int64
+	leaves  int64
+	rng     *blockcipher.RNG
+}
+
+func (s *oramPositions) locate(addr int64) (blk int64, off int) {
+	return addr / s.entries, int(addr%s.entries) * 8
+}
+
+// Get implements PositionStore.
+func (s *oramPositions) Get(addr int64) (int64, error) {
+	blk, off := s.locate(addr)
+	data, err := s.oram.Read(blk)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(data[off:])
+	if v == ^uint64(0) {
+		return posmap.NoLeaf, nil
+	}
+	return int64(v), nil
+}
+
+// Set implements PositionStore with a read-modify-write pair of map
+// ORAM accesses.
+func (s *oramPositions) Set(addr, leaf int64) error {
+	blk, off := s.locate(addr)
+	data, err := s.oram.Read(blk)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(data[off:], uint64(leaf))
+	return s.oram.Write(blk, data)
+}
+
+// Remap implements PositionStore.
+func (s *oramPositions) Remap(addr int64) (int64, error) {
+	leaf := s.rng.Int63n(s.leaves)
+	if err := s.Set(addr, leaf); err != nil {
+		return 0, err
+	}
+	return leaf, nil
+}
+
+// Clear implements PositionStore by rewriting every map block with
+// NoLeaf entries.
+func (s *oramPositions) Clear() {
+	payload := make([]byte, s.entries*8)
+	for e := int64(0); e < s.entries; e++ {
+		binary.BigEndian.PutUint64(payload[e*8:], ^uint64(0))
+	}
+	for b := int64(0); b < s.oram.cfg.Blocks; b++ {
+		// Best effort: PositionStore.Clear cannot return an error; a
+		// failing simulated device here would already have failed the
+		// surrounding operation.
+		_ = s.oram.Write(b, payload)
+	}
+}
+
+// geometryFor mirrors New's geometry derivation for planning.
+func geometryFor(capacity int64, z int) (oramtree.Geometry, error) {
+	return oramtree.ForCapacity(capacity, z)
+}
+
+// treeSlotsFor returns the device slots a tree of the given capacity
+// needs.
+func treeSlotsFor(capacity int64, z int) int64 {
+	g, err := oramtree.ForCapacity(capacity, z)
+	if err != nil {
+		return capacity * 2
+	}
+	return g.Slots()
+}

@@ -1,0 +1,188 @@
+package pathoram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/simclock"
+)
+
+func dramFactory(clk *simclock.Clock) DeviceFactory {
+	return func(slotSize int, slots int64) (device.Device, error) {
+		return device.New(device.DRAM(), slotSize, slots, clk)
+	}
+}
+
+func newRecursive(t *testing.T, blocks int64, blockSize int, cutoff int64) *Recursive {
+	t.Helper()
+	cfg := RecursiveConfig{
+		Config: testConfig(blocks, blockSize),
+		Cutoff: cutoff,
+	}
+	r, err := NewRecursive(cfg, dramFactory(simclock.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecursiveValidation(t *testing.T) {
+	clk := simclock.New()
+	cfg := RecursiveConfig{Config: testConfig(64, 32)}
+	if _, err := NewRecursive(cfg, nil); err == nil {
+		t.Error("accepted nil device factory")
+	}
+	bad := cfg
+	bad.Blocks = 0
+	if _, err := NewRecursive(bad, dramFactory(clk)); err == nil {
+		t.Error("accepted zero blocks")
+	}
+	bad = cfg
+	bad.Config.BlockSize = 8 // < 16 → fewer than 2 entries per block
+	if _, err := NewRecursive(bad, dramFactory(clk)); err == nil {
+		t.Error("accepted block size too small for packing")
+	}
+}
+
+func TestRecursiveLevelPlan(t *testing.T) {
+	// 1024 blocks, 32-byte blocks → 4 entries per map block, cutoff 16:
+	// map level sizes 1024 → 256 → 64 → 16 ≤ 16, so 3 ORAM-backed
+	// levels and a trusted top of 16 entries (16/4 = 4 map blocks).
+	r := newRecursive(t, 1024, 32, 16)
+	if r.MapLevels() != 3 {
+		t.Fatalf("MapLevels() = %d, want 3", r.MapLevels())
+	}
+	if r.TrustedEntries() > 16 {
+		t.Fatalf("TrustedEntries() = %d, want ≤ 16", r.TrustedEntries())
+	}
+	for i := 0; i < r.MapLevels(); i++ {
+		if r.MapORAM(i) == nil {
+			t.Fatalf("MapORAM(%d) nil", i)
+		}
+	}
+}
+
+func TestRecursiveNoRecursionBelowCutoff(t *testing.T) {
+	r := newRecursive(t, 32, 32, 64)
+	if r.MapLevels() != 0 {
+		t.Fatalf("MapLevels() = %d, want 0 (fits cutoff)", r.MapLevels())
+	}
+	if r.TrustedEntries() != 32 {
+		t.Fatalf("TrustedEntries() = %d, want 32", r.TrustedEntries())
+	}
+}
+
+func TestRecursiveRoundTrip(t *testing.T) {
+	r := newRecursive(t, 512, 32, 16)
+	if r.MapLevels() < 2 {
+		t.Fatalf("want deep recursion, got %d levels", r.MapLevels())
+	}
+	want := payload(32, 0x5A)
+	if err := r.Write(77, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip through recursion failed")
+	}
+	// Unwritten blocks still read zeros.
+	got, err = r.Read(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatal("unwritten block not zero through recursion")
+	}
+}
+
+func TestRecursiveChurn(t *testing.T) {
+	const blocks = 256
+	r := newRecursive(t, blocks, 32, 16)
+	version := make(map[int64]byte)
+	rng := blockcipher.NewRNGFromString("rec-churn")
+	for i := 0; i < 300; i++ {
+		a := rng.Int63n(blocks)
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			if err := r.Write(a, payload(32, v)); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			version[a] = v
+		} else {
+			got, err := r.Read(a)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			want := byte(0)
+			if v, ok := version[a]; ok {
+				want = v
+			}
+			if !bytes.Equal(got, payload(32, want)) {
+				t.Fatalf("iteration %d: Read(%d) corrupted", i, a)
+			}
+		}
+	}
+}
+
+func TestRecursiveMapAccessesHappen(t *testing.T) {
+	// Each data access must touch the map ORAMs: their access counters
+	// advance.
+	r := newRecursive(t, 512, 32, 16)
+	before := r.MapORAM(0).Stats().Accesses
+	if _, err := r.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	after := r.MapORAM(0).Stats().Accesses
+	if after <= before {
+		t.Fatal("data access did not touch the level-0 map ORAM")
+	}
+}
+
+func TestRecursiveTrustedStateShrinks(t *testing.T) {
+	// The whole point: trusted entries ≪ N.
+	r := newRecursive(t, 2048, 64, 64)
+	if r.TrustedEntries()*20 > 2048 {
+		t.Fatalf("trusted entries %d not ≪ N=2048", r.TrustedEntries())
+	}
+}
+
+func BenchmarkRecursiveVsFlat(b *testing.B) {
+	for _, mode := range []string{"flat", "recursive"} {
+		b.Run(mode, func(b *testing.B) {
+			clk := simclock.New()
+			cfg := testConfig(2048, 64)
+			var o interface {
+				Read(int64) ([]byte, error)
+			}
+			if mode == "flat" {
+				dev, err := device.New(device.DRAM(), cfg.SlotSize(), 8192, clk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				oo, err := New(cfg, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				o = oo
+			} else {
+				rr, err := NewRecursive(RecursiveConfig{Config: cfg, Cutoff: 64}, dramFactory(clk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				o = rr
+			}
+			rng := blockcipher.NewRNGFromString("bench-" + mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Read(rng.Int63n(2048)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Package posmap holds the two control-layer lookup structures the
+// paper keeps inside the secure shelter: the Path ORAM position map
+// (logical block → leaf) and H-ORAM's permutation list (logical block
+// → current tier and slot, plus the touched bit that enforces the
+// square-root "each storage block read at most once per period"
+// invariant).
+package posmap
+
+import (
+	"fmt"
+
+	"repro/internal/blockcipher"
+)
+
+// NoLeaf marks a position-map entry whose block is not currently
+// mapped into the tree.
+const NoLeaf = int64(-1)
+
+// PositionMap maps logical block addresses to Path ORAM leaves.
+type PositionMap struct {
+	leaves []int64
+	nLeaf  int64
+	rng    *blockcipher.RNG
+}
+
+// NewPositionMap creates a map for `blocks` addresses over a tree with
+// nLeaf leaves. All entries start unmapped (NoLeaf); Path ORAM
+// variants that pre-populate call RemapAll first.
+func NewPositionMap(blocks, nLeaf int64, rng *blockcipher.RNG) (*PositionMap, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("posmap: block count must be positive, got %d", blocks)
+	}
+	if nLeaf <= 0 {
+		return nil, fmt.Errorf("posmap: leaf count must be positive, got %d", nLeaf)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("posmap: nil RNG")
+	}
+	leaves := make([]int64, blocks)
+	for i := range leaves {
+		leaves[i] = NoLeaf
+	}
+	return &PositionMap{leaves: leaves, nLeaf: nLeaf, rng: rng}, nil
+}
+
+// Size returns the number of addresses.
+func (m *PositionMap) Size() int64 { return int64(len(m.leaves)) }
+
+// Leaves returns the number of leaves positions are drawn from.
+func (m *PositionMap) Leaves() int64 { return m.nLeaf }
+
+func (m *PositionMap) check(addr int64) error {
+	if addr < 0 || addr >= int64(len(m.leaves)) {
+		return fmt.Errorf("posmap: address %d out of range [0,%d)", addr, len(m.leaves))
+	}
+	return nil
+}
+
+// Get returns the leaf addr is mapped to, or NoLeaf.
+func (m *PositionMap) Get(addr int64) (int64, error) {
+	if err := m.check(addr); err != nil {
+		return 0, err
+	}
+	return m.leaves[addr], nil
+}
+
+// Set pins addr to leaf.
+func (m *PositionMap) Set(addr, leaf int64) error {
+	if err := m.check(addr); err != nil {
+		return err
+	}
+	if leaf != NoLeaf && (leaf < 0 || leaf >= m.nLeaf) {
+		return fmt.Errorf("posmap: leaf %d out of range [0,%d)", leaf, m.nLeaf)
+	}
+	m.leaves[addr] = leaf
+	return nil
+}
+
+// Remap assigns addr a fresh uniformly random leaf and returns it.
+// This is the remap-on-access at the heart of Path ORAM's security.
+func (m *PositionMap) Remap(addr int64) (int64, error) {
+	if err := m.check(addr); err != nil {
+		return 0, err
+	}
+	leaf := m.rng.Int63n(m.nLeaf)
+	m.leaves[addr] = leaf
+	return leaf, nil
+}
+
+// RemapAll assigns every address an independent random leaf.
+func (m *PositionMap) RemapAll() {
+	for i := range m.leaves {
+		m.leaves[i] = m.rng.Int63n(m.nLeaf)
+	}
+}
+
+// Clear unmaps every address.
+func (m *PositionMap) Clear() {
+	for i := range m.leaves {
+		m.leaves[i] = NoLeaf
+	}
+}
+
+// Tier says which physical layer currently holds a block.
+type Tier uint8
+
+// Tiers of the H-ORAM hierarchy.
+const (
+	TierStorage Tier = iota // flat storage layer, addressed by slot
+	TierMemory              // in-memory Path ORAM tree (or its stash)
+)
+
+// String names the tier for reports.
+func (t Tier) String() string {
+	if t == TierStorage {
+		return "storage"
+	}
+	return "memory"
+}
+
+// Entry is one permutation-list record: where a logical block lives
+// now and whether its storage slot was already read this period.
+type Entry struct {
+	Tier    Tier
+	Slot    int64 // storage slot when Tier == TierStorage
+	Touched bool  // storage slot consumed this access period
+}
+
+// PermutationList is H-ORAM's control structure for the storage layer.
+// It records, per logical address, a boolean "is the block already in
+// memory" and its storage slot otherwise — exactly the two fields the
+// paper's §4.1.1 prescribes — plus the per-period touched bit.
+type PermutationList struct {
+	entries []Entry
+}
+
+// NewPermutationList creates a list for `blocks` addresses, all
+// initially in storage with slot equal to their address (callers
+// install a real permutation with SetStorage or InitRandom).
+func NewPermutationList(blocks int64) (*PermutationList, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("posmap: block count must be positive, got %d", blocks)
+	}
+	entries := make([]Entry, blocks)
+	for i := range entries {
+		entries[i] = Entry{Tier: TierStorage, Slot: int64(i)}
+	}
+	return &PermutationList{entries: entries}, nil
+}
+
+// InitRandom installs a fresh uniformly random address→slot permutation
+// over [0, Size()) and clears all touched bits and memory residency.
+// It returns the permutation used, indexed by address.
+func (l *PermutationList) InitRandom(rng *blockcipher.RNG) []int64 {
+	n := len(l.entries)
+	perm := rng.Perm(n)
+	out := make([]int64, n)
+	for addr := range l.entries {
+		l.entries[addr] = Entry{Tier: TierStorage, Slot: int64(perm[addr])}
+		out[addr] = int64(perm[addr])
+	}
+	return out
+}
+
+// Size returns the number of addresses.
+func (l *PermutationList) Size() int64 { return int64(len(l.entries)) }
+
+func (l *PermutationList) check(addr int64) error {
+	if addr < 0 || addr >= int64(len(l.entries)) {
+		return fmt.Errorf("posmap: address %d out of range [0,%d)", addr, len(l.entries))
+	}
+	return nil
+}
+
+// Lookup returns the entry for addr.
+func (l *PermutationList) Lookup(addr int64) (Entry, error) {
+	if err := l.check(addr); err != nil {
+		return Entry{}, err
+	}
+	return l.entries[addr], nil
+}
+
+// SetMemory records that addr now lives in the memory tier.
+func (l *PermutationList) SetMemory(addr int64) error {
+	if err := l.check(addr); err != nil {
+		return err
+	}
+	l.entries[addr].Tier = TierMemory
+	return nil
+}
+
+// SetStorage records that addr lives in storage at slot, with the
+// touched bit cleared.
+func (l *PermutationList) SetStorage(addr, slot int64) error {
+	if err := l.check(addr); err != nil {
+		return err
+	}
+	l.entries[addr] = Entry{Tier: TierStorage, Slot: slot}
+	return nil
+}
+
+// MarkTouched sets the touched bit of addr. It fails if the block is
+// not in storage or the bit is already set — a violated square-root
+// invariant is a bug in the caller, not a recoverable condition, but
+// we surface it as an error so tests can assert on it.
+func (l *PermutationList) MarkTouched(addr int64) error {
+	if err := l.check(addr); err != nil {
+		return err
+	}
+	e := &l.entries[addr]
+	if e.Tier != TierStorage {
+		return fmt.Errorf("posmap: MarkTouched(%d): block is in memory", addr)
+	}
+	if e.Touched {
+		return fmt.Errorf("posmap: MarkTouched(%d): slot %d already read this period (square-root invariant violated)", addr, e.Slot)
+	}
+	e.Touched = true
+	return nil
+}
+
+// ResetPeriod clears every touched bit (the per-period state).
+func (l *PermutationList) ResetPeriod() {
+	for i := range l.entries {
+		l.entries[i].Touched = false
+	}
+}
+
+// InMemoryCount returns how many blocks are resident in memory.
+func (l *PermutationList) InMemoryCount() int64 {
+	var n int64
+	for i := range l.entries {
+		if l.entries[i].Tier == TierMemory {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageAddrs returns all addresses currently in the storage tier, in
+// ascending order.
+func (l *PermutationList) StorageAddrs() []int64 {
+	out := make([]int64, 0, len(l.entries))
+	for a := range l.entries {
+		if l.entries[a].Tier == TierStorage {
+			out = append(out, int64(a))
+		}
+	}
+	return out
+}
+
+// ValidateStoragePermutation checks that the storage slots of all
+// storage-resident blocks are distinct — i.e. the list is a partial
+// injection into storage. Used by property tests after shuffles.
+func (l *PermutationList) ValidateStoragePermutation() error {
+	seen := make(map[int64]int64)
+	for a := range l.entries {
+		e := l.entries[a]
+		if e.Tier != TierStorage {
+			continue
+		}
+		if prev, dup := seen[e.Slot]; dup {
+			return fmt.Errorf("posmap: addresses %d and %d share storage slot %d", prev, a, e.Slot)
+		}
+		seen[e.Slot] = int64(a)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package shuffle
+
+import "repro/internal/blockcipher"
+
+// Algorithm is a uniform shuffle over opaque blocks. Implementations
+// differ in obliviousness guarantees and cost model; see the package
+// comment for which tier each is meant for.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Shuffle permutes items in place, uniformly at random under rng.
+	Shuffle(items [][]byte, rng *blockcipher.RNG) error
+}
+
+// Cache is the trusted-memory shuffle (the paper's "cache shuffle"
+// role): plain Fisher-Yates. It is not data-oblivious — admissible
+// only inside the trusted tier.
+type Cache struct{}
+
+// Name implements Algorithm.
+func (Cache) Name() string { return "cache" }
+
+// Shuffle implements Algorithm.
+func (Cache) Shuffle(items [][]byte, rng *blockcipher.RNG) error {
+	FisherYates(items, rng)
+	return nil
+}

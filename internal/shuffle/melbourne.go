@@ -1,0 +1,137 @@
+package shuffle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/blockcipher"
+)
+
+// Melbourne implements the Melbourne shuffle of Ohrimenko et al.: an
+// oblivious shuffle for a client with O(√n) private memory against an
+// untrusted store. The access pattern of both passes is fixed given n
+// and the pad factor, independent of the permutation being realised:
+//
+//	distribution pass: the input is scanned sequentially in √n chunks
+//	  and, for every (chunk, bucket) pair, exactly PadFactor slots are
+//	  written — real items destined for that bucket plus dummies;
+//	cleanup pass: each bucket is scanned sequentially, dummies are
+//	  discarded in private memory, and its √n real items are written
+//	  out in permuted order.
+//
+// If more than PadFactor items of one chunk map to one bucket the
+// attempt fails (probability vanishing in PadFactor) and the shuffle
+// retries with fresh randomness; Retries counts how often.
+type Melbourne struct {
+	// PadFactor is the per-(chunk,bucket) slot budget p. Zero selects
+	// max(4, ⌈ln n⌉): the per-cell load is Poisson(1), so a logarithmic
+	// budget keeps the overflow probability across all √n·√n cells
+	// vanishing (the classic Θ(log n / log log n) bound, rounded up
+	// for simplicity).
+	PadFactor int
+
+	// Stats from the last Shuffle call.
+	DummyWrites int64 // padding slots written during distribution
+	RealWrites  int64 // real item writes across both passes
+	Retries     int64 // failed distribution attempts
+}
+
+// Name implements Algorithm.
+func (m *Melbourne) Name() string { return "melbourne" }
+
+// melbEntry holds one distribution-pass entry.
+type melbEntry struct {
+	item []byte // payload; meaningful only when real
+	real bool   // false for a padding dummy
+	dest int    // final position; meaningful only when real
+}
+
+// Shuffle implements Algorithm.
+func (m *Melbourne) Shuffle(items [][]byte, rng *blockcipher.RNG) error {
+	n := len(items)
+	if n < 2 {
+		return nil
+	}
+	pad := m.PadFactor
+	if pad == 0 {
+		pad = int(math.Ceil(math.Log(float64(n))))
+		if pad < 4 {
+			pad = 4
+		}
+	}
+	m.DummyWrites, m.RealWrites, m.Retries = 0, 0, 0
+
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if m.attempt(items, pad, rng) {
+			return nil
+		}
+		m.Retries++
+	}
+	return fmt.Errorf("shuffle: melbourne failed %d times with pad factor %d on n=%d; raise PadFactor", maxAttempts, pad, n)
+}
+
+func (m *Melbourne) attempt(items [][]byte, pad int, rng *blockcipher.RNG) bool {
+	n := len(items)
+	b := int(math.Ceil(math.Sqrt(float64(n)))) // buckets and chunk size
+	perm := Random(n, rng)                     // perm[i] = destination of items[i]
+
+	// Bucket of a destination position. Destinations are striped so
+	// every bucket owns a contiguous output range of ≈ n/b positions.
+	bucketOf := func(dest int) int {
+		bk := dest / b
+		if bk >= b {
+			bk = b - 1
+		}
+		return bk
+	}
+
+	// Distribution pass: for each chunk, write exactly pad entries to
+	// each bucket (reals first, dummy-padded).
+	buckets := make([][]melbEntry, b)
+	chunks := (n + b - 1) / b
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*b, (c+1)*b
+		if hi > n {
+			hi = n
+		}
+		// Group this chunk's items by destination bucket.
+		byBucket := make(map[int][]melbEntry)
+		for i := lo; i < hi; i++ {
+			bk := bucketOf(perm[i])
+			byBucket[bk] = append(byBucket[bk], melbEntry{item: items[i], real: true, dest: perm[i]})
+		}
+		for bk := 0; bk < b; bk++ {
+			real := byBucket[bk]
+			if len(real) > pad {
+				return false // overflow: retry with a fresh permutation
+			}
+			buckets[bk] = append(buckets[bk], real...)
+			m.RealWrites += int64(len(real))
+			for d := len(real); d < pad; d++ {
+				buckets[bk] = append(buckets[bk], melbEntry{})
+				m.DummyWrites++
+			}
+		}
+	}
+
+	// Cleanup pass: per bucket, drop dummies, order by destination,
+	// emit sequentially.
+	out := make([][]byte, n)
+	for bk := 0; bk < b; bk++ {
+		var real []melbEntry
+		for _, e := range buckets[bk] {
+			if e.real {
+				real = append(real, e)
+			}
+		}
+		sort.Slice(real, func(i, j int) bool { return real[i].dest < real[j].dest })
+		for _, e := range real {
+			out[e.dest] = e.item
+			m.RealWrites++
+		}
+	}
+	copy(items, out)
+	return true
+}

@@ -1,0 +1,106 @@
+// Package shuffle implements the permutation machinery ORAM schemes
+// rebuild their layouts with: uniform in-memory shuffling (the "cache
+// shuffle" role in the paper), data-oblivious shuffles for untrusted
+// memory (bitonic network, Melbourne shuffle), and a Benes permutation
+// network with explicit switch programming.
+//
+// Inside the trusted memory tier any uniform shuffle is admissible —
+// the paper notes "the in-memory shuffle algorithm is free to choose"
+// — so H-ORAM's hot path uses Fisher-Yates. The oblivious variants
+// exist for the baselines whose shuffles execute on untrusted storage
+// and for the ablation comparing shuffle costs.
+package shuffle
+
+import (
+	"fmt"
+
+	"repro/internal/blockcipher"
+)
+
+// Permutation maps position i to p[i]. A valid permutation of size n
+// contains each value in [0,n) exactly once.
+type Permutation []int
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation of size n drawn from
+// rng (Fisher-Yates).
+func Random(n int, rng *blockcipher.RNG) Permutation {
+	return Permutation(rng.Perm(n))
+}
+
+// Validate returns an error unless p is a bijection on [0, len(p)).
+func (p Permutation) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("shuffle: p[%d] = %d out of range [0,%d)", i, v, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("shuffle: value %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Inverse returns q with q[p[i]] = i.
+func (p Permutation) Inverse() Permutation {
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns r with r[i] = p[q[i]]: applying q first, then p.
+func (p Permutation) Compose(q Permutation) Permutation {
+	if len(p) != len(q) {
+		panic("shuffle: composing permutations of different sizes")
+	}
+	r := make(Permutation, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// IsIdentity reports whether p fixes every position.
+func (p Permutation) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply permutes items so that out[p[i]] = items[i], i.e. p gives the
+// destination of each element. It allocates a fresh slice.
+func Apply[T any](p Permutation, items []T) []T {
+	if len(p) != len(items) {
+		panic("shuffle: permutation/items size mismatch")
+	}
+	out := make([]T, len(items))
+	for i, v := range p {
+		out[v] = items[i]
+	}
+	return out
+}
+
+// FisherYates uniformly shuffles items in place using rng. This is the
+// in-memory "cache shuffle" role from the paper: it runs inside the
+// trusted tier where access-pattern obliviousness is not required.
+func FisherYates[T any](items []T, rng *blockcipher.RNG) {
+	for i := len(items) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+}

@@ -1,0 +1,438 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockcipher"
+)
+
+// numberedItems returns n distinct 8-byte payloads.
+func numberedItems(n int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(i))
+		items[i] = b
+	}
+	return items
+}
+
+// itemSet returns the multiset of payload values for comparison.
+func itemSet(items [][]byte) map[uint64]int {
+	m := make(map[uint64]int)
+	for _, b := range items {
+		m[binary.BigEndian.Uint64(b)]++
+	}
+	return m
+}
+
+func sameMultiset(t *testing.T, before, after [][]byte) {
+	t.Helper()
+	if len(before) != len(after) {
+		t.Fatalf("length changed: %d -> %d", len(before), len(after))
+	}
+	b, a := itemSet(before), itemSet(after)
+	for k, v := range b {
+		if a[k] != v {
+			t.Fatalf("element %d count changed: %d -> %d", k, v, a[k])
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIdentity() {
+		t.Fatal("Identity(5) is not the identity")
+	}
+}
+
+func TestValidateRejectsBadPermutations(t *testing.T) {
+	cases := []Permutation{
+		{0, 0},    // duplicate
+		{1, 2},    // out of range
+		{-1, 0},   // negative
+		{0, 1, 1}, // duplicate
+		{3, 0, 1}, // out of range
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted an invalid permutation", p)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := blockcipher.NewRNGFromString("inv")
+	for trial := 0; trial < 20; trial++ {
+		p := Random(17, rng)
+		q := p.Inverse()
+		if !p.Compose(q).IsIdentity() || !q.Compose(p).IsIdentity() {
+			t.Fatalf("p∘p⁻¹ != id for p=%v", p)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	out := Apply(p, []string{"a", "b", "c"})
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestApplyPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply with mismatched sizes did not panic")
+		}
+	}()
+	Apply(Permutation{0, 1}, []int{1, 2, 3})
+}
+
+func TestComposePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose with mismatched sizes did not panic")
+		}
+	}()
+	Permutation{0, 1}.Compose(Permutation{0})
+}
+
+func TestRandomIsValidPermutation(t *testing.T) {
+	rng := blockcipher.NewRNGFromString("rand-perm")
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		return Random(n, rng).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFisherYatesPreservesMultiset(t *testing.T) {
+	rng := blockcipher.NewRNGFromString("fy")
+	items := numberedItems(100)
+	orig := numberedItems(100)
+	FisherYates(items, rng)
+	sameMultiset(t, orig, items)
+}
+
+// allAlgorithms returns one instance of every shuffle Algorithm.
+func allAlgorithms() []Algorithm {
+	return []Algorithm{Cache{}, &Bitonic{}, &Melbourne{}, &BenesShuffle{}}
+}
+
+func TestAlgorithmsPreserveMultiset(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		for _, n := range []int{0, 1, 2, 3, 16, 17, 100} {
+			t.Run(fmt.Sprintf("%s/n=%d", alg.Name(), n), func(t *testing.T) {
+				rng := blockcipher.NewRNGFromString("ms-" + alg.Name())
+				items := numberedItems(n)
+				orig := numberedItems(n)
+				if err := alg.Shuffle(items, rng); err != nil {
+					t.Fatalf("Shuffle: %v", err)
+				}
+				sameMultiset(t, orig, items)
+			})
+		}
+	}
+}
+
+// TestAlgorithmsUniform verifies that each algorithm produces a
+// roughly uniform distribution over destination positions: item 0 of
+// an n-item input should land in each slot about equally often.
+func TestAlgorithmsUniform(t *testing.T) {
+	const n = 8
+	const trials = 4000
+	// Chi-square critical value for 7 dof at 99.9%: 24.32.
+	const critical = 24.32
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			rng := blockcipher.NewRNGFromString("uniform-" + alg.Name())
+			var counts [n]int
+			for trial := 0; trial < trials; trial++ {
+				items := numberedItems(n)
+				if err := alg.Shuffle(items, rng); err != nil {
+					t.Fatal(err)
+				}
+				for pos, b := range items {
+					if binary.BigEndian.Uint64(b) == 0 {
+						counts[pos]++
+					}
+				}
+			}
+			expected := float64(trials) / n
+			var chi2 float64
+			for _, c := range counts {
+				d := float64(c) - expected
+				chi2 += d * d / expected
+			}
+			if chi2 > critical {
+				t.Fatalf("%s: chi2 = %.2f > %.2f, counts=%v", alg.Name(), chi2, critical, counts)
+			}
+		})
+	}
+}
+
+func TestBitonicCountsCompareExchanges(t *testing.T) {
+	b := &Bitonic{}
+	rng := blockcipher.NewRNGFromString("bce")
+	items := numberedItems(64)
+	if err := b.Shuffle(items, rng); err != nil {
+		t.Fatal(err)
+	}
+	// 64 = 2^6: exactly n/2 * k(k+1)/2 = 32*21 = 672 compare-exchanges.
+	if b.CompareExchanges != 672 {
+		t.Fatalf("CompareExchanges = %d, want 672", b.CompareExchanges)
+	}
+}
+
+// TestBitonicAccessPatternFixed verifies obliviousness: the sequence
+// of (i, l) pairs touched depends only on n. We run two shuffles with
+// different randomness and check the comparator count is identical
+// (the offsets are generated by loops over n alone, so equal counts at
+// equal n imply the identical fixed sequence).
+func TestBitonicAccessPatternFixed(t *testing.T) {
+	for _, n := range []int{5, 16, 33, 100} {
+		b1, b2 := &Bitonic{}, &Bitonic{}
+		r1 := blockcipher.NewRNGFromString("pat1")
+		r2 := blockcipher.NewRNGFromString("pat2")
+		i1, i2 := numberedItems(n), numberedItems(n)
+		b1.Shuffle(i1, r1)
+		b2.Shuffle(i2, r2)
+		if b1.CompareExchanges != b2.CompareExchanges {
+			t.Fatalf("n=%d: comparator counts differ across randomness: %d vs %d",
+				n, b1.CompareExchanges, b2.CompareExchanges)
+		}
+	}
+}
+
+func TestMelbourneStats(t *testing.T) {
+	m := &Melbourne{PadFactor: 4}
+	rng := blockcipher.NewRNGFromString("melb-stats")
+	items := numberedItems(256)
+	if err := m.Shuffle(items, rng); err != nil {
+		t.Fatal(err)
+	}
+	if m.DummyWrites <= 0 {
+		t.Fatal("Melbourne shuffle reported no dummy writes; distribution pass is not padded")
+	}
+	// Distribution writes exactly pad slots per (chunk,bucket):
+	// 16 chunks x 16 buckets x 4 = 1024 slots for 256 reals.
+	if got, want := m.DummyWrites+256, int64(1024); got != want {
+		t.Fatalf("distribution slots = %d, want %d", got, want)
+	}
+}
+
+func TestMelbourneDefaultPadScales(t *testing.T) {
+	// n = 4096 needs more than the small-n pad of 4; the adaptive
+	// default must succeed without error.
+	m := &Melbourne{}
+	rng := blockcipher.NewRNGFromString("melb-large")
+	items := numberedItems(4096)
+	if err := m.Shuffle(items, rng); err != nil {
+		t.Fatalf("adaptive pad failed at n=4096: %v", err)
+	}
+}
+
+func TestMelbournePadFactorTooSmallFails(t *testing.T) {
+	m := &Melbourne{PadFactor: 1}
+	rng := blockcipher.NewRNGFromString("melb-tight")
+	items := numberedItems(1024)
+	err := m.Shuffle(items, rng)
+	// With pad factor 1 on 1024 items (32 chunks of 32), some chunk
+	// virtually always sends 2+ items to one bucket; expect failure
+	// or at least heavy retries.
+	if err == nil && m.Retries == 0 {
+		t.Fatal("pad factor 1 succeeded with no retries; overflow detection is broken")
+	}
+}
+
+func TestRouteBenesRejectsBadSizes(t *testing.T) {
+	for _, p := range []Permutation{{0}, {0, 1, 2}, {0, 1, 2, 3, 4, 5}} {
+		if _, err := RouteBenes(p); err == nil {
+			t.Errorf("RouteBenes accepted size %d", len(p))
+		}
+	}
+	if _, err := RouteBenes(Permutation{0, 0}); err == nil {
+		t.Error("RouteBenes accepted an invalid permutation")
+	}
+}
+
+func TestBenesRealizesPermutation(t *testing.T) {
+	rng := blockcipher.NewRNGFromString("benes")
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		for trial := 0; trial < 10; trial++ {
+			p := Random(n, rng)
+			nw, err := RouteBenes(p)
+			if err != nil {
+				t.Fatalf("RouteBenes(n=%d): %v", n, err)
+			}
+			items := numberedItems(n)
+			if err := nw.Apply(items); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				got := binary.BigEndian.Uint64(items[p[i]])
+				if got != uint64(i) {
+					t.Fatalf("n=%d: input %d should be at output %d, found %d there", n, i, p[i], got)
+				}
+			}
+		}
+	}
+}
+
+func TestBenesSwitchCount(t *testing.T) {
+	// Benes on n = 2^k has n·k − n/2 switches and 2k−1 columns.
+	for _, tc := range []struct{ n, switches, depth int }{
+		{2, 1, 1},
+		{4, 6, 3},
+		{8, 20, 5},
+		{16, 56, 7},
+	} {
+		nw, err := RouteBenes(Identity(tc.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nw.Switches(); got != tc.switches {
+			t.Errorf("n=%d: Switches() = %d, want %d", tc.n, got, tc.switches)
+		}
+		if got := nw.Depth(); got != tc.depth {
+			t.Errorf("n=%d: Depth() = %d, want %d", tc.n, got, tc.depth)
+		}
+		if got := nw.Size(); got != tc.n {
+			t.Errorf("n=%d: Size() = %d", tc.n, got)
+		}
+	}
+}
+
+func TestBenesApplyRejectsWrongSize(t *testing.T) {
+	nw, _ := RouteBenes(Identity(4))
+	if err := nw.Apply(numberedItems(3)); err == nil {
+		t.Fatal("Apply accepted wrong item count")
+	}
+}
+
+func TestBenesIdentityRoutesIdentity(t *testing.T) {
+	nw, _ := RouteBenes(Identity(8))
+	items := numberedItems(8)
+	nw.Apply(items)
+	for i, b := range items {
+		if binary.BigEndian.Uint64(b) != uint64(i) {
+			t.Fatalf("identity network moved item %d", i)
+		}
+	}
+}
+
+func TestBenesPropertyAllPermsN4(t *testing.T) {
+	// Exhaustive check of all 24 permutations of size 4.
+	perms := [][]int{}
+	var gen func(cur []int, used []bool)
+	gen = func(cur []int, used []bool) {
+		if len(cur) == 4 {
+			c := make([]int, 4)
+			copy(c, cur)
+			perms = append(perms, c)
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				gen(append(cur, v), used)
+				used[v] = false
+			}
+		}
+	}
+	gen(nil, make([]bool, 4))
+	if len(perms) != 24 {
+		t.Fatalf("generated %d perms, want 24", len(perms))
+	}
+	for _, p := range perms {
+		nw, err := RouteBenes(Permutation(p))
+		if err != nil {
+			t.Fatalf("RouteBenes(%v): %v", p, err)
+		}
+		items := numberedItems(4)
+		nw.Apply(items)
+		for i := 0; i < 4; i++ {
+			if got := binary.BigEndian.Uint64(items[p[i]]); got != uint64(i) {
+				t.Fatalf("perm %v: input %d not at output %d", p, i, p[i])
+			}
+		}
+	}
+}
+
+func TestShuffleDoesNotAliasAcrossItems(t *testing.T) {
+	// After shuffling, mutating one item must not affect another
+	// (i.e. algorithms must move references, not merge them).
+	for _, alg := range allAlgorithms() {
+		rng := blockcipher.NewRNGFromString("alias")
+		items := numberedItems(16)
+		if err := alg.Shuffle(items, rng); err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[*byte]bool)
+		for _, it := range items {
+			if seen[&it[0]] {
+				t.Fatalf("%s: two positions share one backing array", alg.Name())
+			}
+			seen[&it[0]] = true
+		}
+	}
+}
+
+func BenchmarkFisherYates1K(b *testing.B) {
+	rng := blockcipher.NewRNGFromString("bench-fy")
+	items := numberedItems(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FisherYates(items, rng)
+	}
+}
+
+func BenchmarkBitonic1K(b *testing.B) {
+	rng := blockcipher.NewRNGFromString("bench-bit")
+	alg := &Bitonic{}
+	items := numberedItems(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := alg.Shuffle(items, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMelbourne1K(b *testing.B) {
+	rng := blockcipher.NewRNGFromString("bench-melb")
+	alg := &Melbourne{}
+	items := numberedItems(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := alg.Shuffle(items, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBenes1K(b *testing.B) {
+	rng := blockcipher.NewRNGFromString("bench-benes")
+	alg := &BenesShuffle{}
+	items := numberedItems(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := alg.Shuffle(items, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got, want := c.Now(), time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceIgnoresZero(t *testing.T) {
+	c := New()
+	c.Advance(0)
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Millisecond)
+
+	// Past target: no change.
+	if got := c.AdvanceTo(5 * time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("AdvanceTo(past) = %v, want 10ms", got)
+	}
+	// Future target: jump.
+	if got := c.AdvanceTo(25 * time.Millisecond); got != 25*time.Millisecond {
+		t.Fatalf("AdvanceTo(future) = %v, want 25ms", got)
+	}
+	if got := c.Now(); got != 25*time.Millisecond {
+		t.Fatalf("Now() = %v, want 25ms", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), workers*perWorker*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond)
+	sw := StartStopwatch(c)
+	c.Advance(7 * time.Millisecond)
+	if got, want := sw.Elapsed(), 7*time.Millisecond; got != want {
+		t.Fatalf("Elapsed() = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator()
+	a.Add("io", time.Second)
+	a.Add("io", 2*time.Second)
+	a.Add("mem", time.Millisecond)
+
+	if got, want := a.Get("io"), 3*time.Second; got != want {
+		t.Fatalf("Get(io) = %v, want %v", got, want)
+	}
+	if got, want := a.Get("mem"), time.Millisecond; got != want {
+		t.Fatalf("Get(mem) = %v, want %v", got, want)
+	}
+	if got := a.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %v, want 0", got)
+	}
+	if got, want := a.Total(), 3*time.Second+time.Millisecond; got != want {
+		t.Fatalf("Total() = %v, want %v", got, want)
+	}
+
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() has %d buckets, want 2", len(snap))
+	}
+	// Mutating the snapshot must not affect the accumulator.
+	snap["io"] = 0
+	if got, want := a.Get("io"), 3*time.Second; got != want {
+		t.Fatalf("Get(io) after snapshot mutation = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulatorConcurrent(t *testing.T) {
+	a := NewAccumulator()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				a.Add("x", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := a.Get("x"), 2000*time.Microsecond; got != want {
+		t.Fatalf("Get(x) = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulatorString(t *testing.T) {
+	a := NewAccumulator()
+	if got := a.String(); got != "" {
+		t.Fatalf("empty String() = %q, want \"\"", got)
+	}
+	a.Add("io", time.Second)
+	if got, want := a.String(), "io=1s"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

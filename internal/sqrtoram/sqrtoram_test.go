@@ -1,0 +1,241 @@
+package sqrtoram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/simclock"
+)
+
+func testConfig(blocks int64, blockSize int) Config {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(50 + i)
+	}
+	rng := blockcipher.NewRNGFromString("sqrt-test")
+	sealer, err := blockcipher.NewAESSealer(key, rng.Fork("sealer"))
+	if err != nil {
+		panic(err)
+	}
+	return Config{Blocks: blocks, BlockSize: blockSize, Sealer: sealer, RNG: rng.Fork("oram")}
+}
+
+func build(t *testing.T, blocks int64, blockSize int) (*ORAM, *device.Sim) {
+	t.Helper()
+	cfg := testConfig(blocks, blockSize)
+	clk := simclock.New()
+	dev, err := device.New(device.PaperHDD(), cfg.SlotSize(), 2*blocks+64, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, dev
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testConfig(16, 32)
+	clk := simclock.New()
+	dev, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 64, clk)
+
+	bad := cfg
+	bad.Blocks = 0
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted zero blocks")
+	}
+	bad = cfg
+	bad.Sealer = nil
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted nil sealer")
+	}
+	bad = cfg
+	bad.RNG = nil
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted nil rng")
+	}
+	bad = cfg
+	bad.Period = 100 // > √16 = 4 dummies
+	if _, err := New(bad, dev); err == nil {
+		t.Error("accepted period exceeding dummy count")
+	}
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("accepted nil device")
+	}
+	tiny, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 4, clk)
+	if _, err := New(cfg, tiny); err == nil {
+		t.Error("accepted undersized device")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o, _ := build(t, 100, 16)
+	if o.Dummies() != 10 {
+		t.Fatalf("Dummies() = %d, want 10", o.Dummies())
+	}
+	if o.Period() != 10 {
+		t.Fatalf("Period() = %d, want 10", o.Period())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	o, _ := build(t, 64, 32)
+	want := bytes.Repeat([]byte{0x42}, 32)
+	if err := o.Write(10, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestSurvivesManyShuffles(t *testing.T) {
+	const blocks = 64
+	o, _ := build(t, blocks, 16)
+	fill := func(b byte) []byte { return bytes.Repeat([]byte{b}, 16) }
+	for a := int64(0); a < blocks; a++ {
+		if err := o.Write(a, fill(byte(a))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := blockcipher.NewRNGFromString("sqrt-churn")
+	for i := 0; i < 300; i++ {
+		a := rng.Int63n(blocks)
+		got, err := o.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(byte(a))) {
+			t.Fatalf("Read(%d) corrupted at iteration %d", a, i)
+		}
+	}
+	if o.Stats().Shuffles == 0 {
+		t.Fatal("no shuffles happened in 364 accesses with period 8")
+	}
+}
+
+func TestShuffleClearsShelterAndResetsPeriod(t *testing.T) {
+	o, _ := build(t, 16, 8) // period 4
+	for i := 0; i < 4; i++ {
+		if _, err := o.Read(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Stats().Shuffles != 1 {
+		t.Fatalf("Shuffles = %d after exactly one period, want 1", o.Stats().Shuffles)
+	}
+	if o.ShelterLen() != 0 {
+		t.Fatalf("shelter has %d blocks after shuffle, want 0", o.ShelterLen())
+	}
+}
+
+func TestShelterHitConsumesDummy(t *testing.T) {
+	o, _ := build(t, 64, 8) // period 8
+	if _, err := o.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(5); err != nil { // now sheltered
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.ShelterHits != 1 || st.DummyReads != 1 {
+		t.Fatalf("hits/dummy = %d/%d, want 1/1", st.ShelterHits, st.DummyReads)
+	}
+}
+
+func TestEveryAccessIsExactlyOneStorageRead(t *testing.T) {
+	o, dev := build(t, 64, 8)
+	dev.ResetStats()
+	reads := dev.Stats().Reads
+	for i := 0; i < 7; i++ { // stop before the period-8 shuffle
+		if _, err := o.Read(int64(i % 3)); err != nil {
+			t.Fatal(err)
+		}
+		got := dev.Stats().Reads
+		if got != reads+1 {
+			t.Fatalf("access %d performed %d reads, want exactly 1", i, got-reads)
+		}
+		reads = got
+	}
+}
+
+func TestNoSlotReadTwicePerPeriod(t *testing.T) {
+	o, dev := build(t, 64, 8)
+	seen := map[int64]bool{}
+	violated := false
+	dev.SetHook(func(_ string, op device.Op, slot int64) {
+		if op != device.OpRead {
+			return
+		}
+		if seen[slot] {
+			violated = true
+		}
+		seen[slot] = true
+	})
+	// 7 accesses (one period is 8; the 8th triggers the shuffle whose
+	// bulk scan legitimately re-reads).
+	for i := 0; i < 7; i++ {
+		if _, err := o.Read(int64(i % 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.SetHook(nil)
+	if violated {
+		t.Fatal("a storage slot was read twice within one access period")
+	}
+}
+
+func TestShufflePassesCharged(t *testing.T) {
+	cfg := testConfig(64, 8)
+	cfg.ShufflePasses = 1
+	clk1 := simclock.New()
+	dev1, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 200, clk1)
+	o1, err := New(cfg, dev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg4 := testConfig(64, 8)
+	cfg4.ShufflePasses = 4
+	clk4 := simclock.New()
+	dev4, _ := device.New(device.PaperHDD(), cfg4.SlotSize(), 200, clk4)
+	o4, err := New(cfg4, dev4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 8; i++ { // exactly one shuffle each
+		if _, err := o1.Read(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o4.Read(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o1.Stats().Shuffles != 1 || o4.Stats().Shuffles != 1 {
+		t.Fatal("expected one shuffle in both configurations")
+	}
+	if clk4.Now() < 2*clk1.Now() {
+		t.Fatalf("4-pass shuffle (%v) should cost much more than 1-pass (%v)", clk4.Now(), clk1.Now())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	o, _ := build(t, 16, 8)
+	if _, err := o.Read(-1); err == nil {
+		t.Error("Read(-1) passed")
+	}
+	if _, err := o.Read(16); err == nil {
+		t.Error("Read(16) passed")
+	}
+	if err := o.Write(0, make([]byte, 7)); err == nil {
+		t.Error("short write passed")
+	}
+}

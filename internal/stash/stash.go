@@ -1,0 +1,112 @@
+// Package stash implements the trusted-memory stash every ORAM scheme
+// in this repository keeps inside the secure controller: blocks that
+// have been fetched but not yet written back. The stash tracks its
+// peak occupancy, the statistic Path ORAM's security argument bounds.
+package stash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is a plaintext ORAM block held in the stash.
+type Block struct {
+	Addr int64  // logical block address
+	Data []byte // plaintext payload; owned by the stash while stored
+}
+
+// Stash holds plaintext blocks keyed by logical address. The zero
+// value is not usable; call New. Stash is not safe for concurrent use.
+type Stash struct {
+	blocks map[int64][]byte
+	limit  int // 0 = unbounded
+	peak   int
+}
+
+// New returns an empty stash. limit caps occupancy (Put fails beyond
+// it); limit 0 means unbounded, which is how the statistics-gathering
+// experiments run so that overflow shows up as a measured peak rather
+// than an error.
+func New(limit int) *Stash {
+	return &Stash{blocks: make(map[int64][]byte), limit: limit}
+}
+
+// ErrFull is returned by Put when a bounded stash is at capacity.
+type ErrFull struct {
+	Limit int
+}
+
+func (e ErrFull) Error() string {
+	return fmt.Sprintf("stash: full at limit %d", e.Limit)
+}
+
+// Put stores data under addr, replacing any previous value. The stash
+// takes ownership of data.
+func (s *Stash) Put(addr int64, data []byte) error {
+	if _, exists := s.blocks[addr]; !exists {
+		if s.limit > 0 && len(s.blocks) >= s.limit {
+			return ErrFull{Limit: s.limit}
+		}
+	}
+	s.blocks[addr] = data
+	if len(s.blocks) > s.peak {
+		s.peak = len(s.blocks)
+	}
+	return nil
+}
+
+// Get returns the block stored under addr without removing it. The
+// returned slice is the stash's copy; callers must not retain it past
+// the next mutation of this address.
+func (s *Stash) Get(addr int64) ([]byte, bool) {
+	d, ok := s.blocks[addr]
+	return d, ok
+}
+
+// Take removes and returns the block stored under addr.
+func (s *Stash) Take(addr int64) ([]byte, bool) {
+	d, ok := s.blocks[addr]
+	if ok {
+		delete(s.blocks, addr)
+	}
+	return d, ok
+}
+
+// Has reports whether addr is present.
+func (s *Stash) Has(addr int64) bool {
+	_, ok := s.blocks[addr]
+	return ok
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// Peak returns the highest occupancy ever observed.
+func (s *Stash) Peak() int { return s.peak }
+
+// Limit returns the configured capacity (0 = unbounded).
+func (s *Stash) Limit() int { return s.limit }
+
+// Addrs returns the stored addresses in ascending order. Deterministic
+// ordering keeps eviction — and therefore whole experiments —
+// reproducible under a fixed seed.
+func (s *Stash) Addrs() []int64 {
+	out := make([]int64, 0, len(s.blocks))
+	for a := range s.blocks {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drain removes and returns all blocks in ascending address order.
+func (s *Stash) Drain() []Block {
+	addrs := s.Addrs()
+	out := make([]Block, 0, len(addrs))
+	for _, a := range addrs {
+		d := s.blocks[a]
+		delete(s.blocks, a)
+		out = append(out, Block{Addr: a, Data: d})
+	}
+	return out
+}

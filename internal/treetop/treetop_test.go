@@ -1,0 +1,172 @@
+package treetop
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/pathoram"
+	"repro/internal/simclock"
+)
+
+func testConfig(blocks int64, blockSize int) pathoram.Config {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(100 + i)
+	}
+	rng := blockcipher.NewRNGFromString("treetop-test")
+	sealer, err := blockcipher.NewAESSealer(key, rng.Fork("sealer"))
+	if err != nil {
+		panic(err)
+	}
+	return pathoram.Config{
+		Blocks:    blocks,
+		BlockSize: blockSize,
+		Z:         4,
+		Sealer:    sealer,
+		RNG:       rng.Fork("oram"),
+	}
+}
+
+func build(t *testing.T, blocks int64, blockSize int, memoryBudget int64) (*ORAM, *device.Sim, *device.Sim) {
+	t.Helper()
+	cfg := testConfig(blocks, blockSize)
+	clk := simclock.New()
+	mem, err := device.New(device.DRAM(), cfg.SlotSize(), 4*blocks, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stor, err := device.New(device.PaperHDD(), cfg.SlotSize(), 4*blocks, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(cfg, mem, stor, memoryBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, mem, stor
+}
+
+func TestLevelSplit(t *testing.T) {
+	// 256 blocks → tree capacity 512 slots → Z=4 needs 255 buckets
+	// (127·4 = 508 < 512), so Levels = 7 and 8 bucket levels.
+	cfg := testConfig(256, 32)
+	// Budgets count plaintext blocks (paper accounting).
+	budgetFor := func(levels int) int64 {
+		return ((int64(1) << uint(levels)) - 1) * 4 * int64(cfg.BlockSize)
+	}
+	cases := []struct {
+		budget    int64
+		memLevels int
+	}{
+		{0, 0},
+		{budgetFor(1), 1},
+		{budgetFor(3), 3},
+		{budgetFor(3) + 1, 3},
+		{budgetFor(8), 8}, // whole tree fits
+		{1 << 40, 8},
+	}
+	for _, tc := range cases {
+		o, _, _ := build(t, 256, 32, tc.budget)
+		if o.MemLevels() != tc.memLevels {
+			t.Errorf("budget %d: MemLevels() = %d, want %d", tc.budget, o.MemLevels(), tc.memLevels)
+		}
+		if got := o.StorageLevels(); got != o.Geometry().Levels+1-tc.memLevels {
+			t.Errorf("budget %d: StorageLevels() = %d", tc.budget, got)
+		}
+	}
+}
+
+func TestRoundTripAcrossTiers(t *testing.T) {
+	o, _, _ := build(t, 128, 32, 3*4*32) // 2 levels (block size 32)
+	want := bytes.Repeat([]byte{0x77}, 32)
+	if err := o.Write(17, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip across tiers failed")
+	}
+}
+
+func TestAccessSplitsTraffic(t *testing.T) {
+	cfg := testConfig(256, 32)
+	budget := int64(7 * 4 * cfg.BlockSize) // 3 levels in memory
+	o, mem, stor := build(t, 256, 32, budget)
+
+	mem.ResetStats()
+	stor.ResetStats()
+	if _, err := o.Read(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// One path = 8 buckets: 3 in memory, 5 on storage; Z=4 slots each,
+	// read and written once.
+	if got, want := mem.Stats().Reads, int64(3*4); got != want {
+		t.Errorf("memory reads = %d, want %d", got, want)
+	}
+	if got, want := stor.Stats().Reads, int64(5*4); got != want {
+		t.Errorf("storage reads = %d, want %d", got, want)
+	}
+	if got, want := stor.Stats().Writes, int64(5*4); got != want {
+		t.Errorf("storage writes = %d, want %d", got, want)
+	}
+	if o.StorageBucketsPerAccess() != 5 {
+		t.Errorf("StorageBucketsPerAccess() = %d, want 5", o.StorageBucketsPerAccess())
+	}
+}
+
+func TestStorageTimeDominates(t *testing.T) {
+	cfg := testConfig(512, 64)
+	clk := simclock.New()
+	mem, _ := device.New(device.DRAM(), cfg.SlotSize(), 2048, clk)
+	stor, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 2048, clk)
+	o, err := New(cfg, mem, stor, int64(15*4*cfg.BlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int64(0); a < 64; a++ {
+		if err := o.Write(a, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Stats().Busy > stor.Stats().Busy {
+		t.Fatalf("memory busy %v exceeds storage busy %v; latency model inverted",
+			mem.Stats().Busy, stor.Stats().Busy)
+	}
+}
+
+func TestNegativeBudgetRejected(t *testing.T) {
+	cfg := testConfig(64, 32)
+	clk := simclock.New()
+	mem, _ := device.New(device.DRAM(), cfg.SlotSize(), 1024, clk)
+	stor, _ := device.New(device.PaperHDD(), cfg.SlotSize(), 1024, clk)
+	if _, err := New(cfg, mem, stor, -1); err == nil {
+		t.Fatal("accepted negative memory budget")
+	}
+}
+
+func TestChurnAcrossTiers(t *testing.T) {
+	o, _, _ := build(t, 64, 16, 3*4*16)
+	fill := func(b byte) []byte { return bytes.Repeat([]byte{b}, 16) }
+	for a := int64(0); a < 64; a++ {
+		if err := o.Write(a, fill(byte(a))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := blockcipher.NewRNGFromString("tt-churn")
+	for i := 0; i < 300; i++ {
+		a := rng.Int63n(64)
+		got, err := o.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(byte(a))) {
+			t.Fatalf("Read(%d) corrupted", a)
+		}
+	}
+}

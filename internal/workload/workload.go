@@ -1,0 +1,200 @@
+// Package workload generates the request traces the paper evaluates
+// with, most importantly the 80/20 hotspot trace of §5.2.1: "80% of
+// chance it will distribute in a certain area, and 20% of chance it
+// requests a random data". Uniform, Zipf, sequential and replay
+// generators support the ablation benches.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blockcipher"
+)
+
+// Generator produces a stream of logical block addresses over [0, N).
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next returns the next address.
+	Next() int64
+}
+
+// Hotspot is the paper's trace: with probability HotFrac the address
+// falls uniformly inside a hot region of HotSize·N blocks; otherwise
+// it is uniform over the whole data set.
+type Hotspot struct {
+	n       int64
+	hotLen  int64
+	hotFrac float64
+	rng     *blockcipher.RNG
+}
+
+// NewHotspot builds the paper's 80/20 generator: hotFrac 0.8 of
+// requests hit a region of hotSize (fraction, e.g. 0.2) of the data
+// set.
+func NewHotspot(n int64, hotFrac, hotSize float64, rng *blockcipher.RNG) (*Hotspot, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", n)
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("workload: hotFrac %v out of [0,1]", hotFrac)
+	}
+	if hotSize <= 0 || hotSize > 1 {
+		return nil, fmt.Errorf("workload: hotSize %v out of (0,1]", hotSize)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	hotLen := int64(float64(n) * hotSize)
+	if hotLen < 1 {
+		hotLen = 1
+	}
+	return &Hotspot{n: n, hotLen: hotLen, hotFrac: hotFrac, rng: rng}, nil
+}
+
+// Name implements Generator.
+func (h *Hotspot) Name() string { return "hotspot" }
+
+// Next implements Generator.
+func (h *Hotspot) Next() int64 {
+	if h.rng.Float64() < h.hotFrac {
+		return h.rng.Int63n(h.hotLen)
+	}
+	return h.rng.Int63n(h.n)
+}
+
+// HotLen returns the size of the hot region in blocks.
+func (h *Hotspot) HotLen() int64 { return h.hotLen }
+
+// Uniform draws addresses uniformly over [0, N).
+type Uniform struct {
+	n   int64
+	rng *blockcipher.RNG
+}
+
+// NewUniform builds a uniform generator.
+func NewUniform(n int64, rng *blockcipher.RNG) (*Uniform, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	return &Uniform{n: n, rng: rng}, nil
+}
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Next implements Generator.
+func (u *Uniform) Next() int64 { return u.rng.Int63n(u.n) }
+
+// Sequential sweeps the address space in order, wrapping around.
+type Sequential struct {
+	n    int64
+	next int64
+}
+
+// NewSequential builds a sequential sweep generator.
+func NewSequential(n int64) (*Sequential, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", n)
+	}
+	return &Sequential{n: n}, nil
+}
+
+// Name implements Generator.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Next implements Generator.
+func (s *Sequential) Next() int64 {
+	v := s.next
+	s.next = (s.next + 1) % s.n
+	return v
+}
+
+// Zipf draws addresses with the classic Zipf(s) popularity skew using
+// inverse-CDF sampling over a precomputed table.
+type Zipf struct {
+	cdf []float64
+	rng *blockcipher.RNG
+}
+
+// NewZipf builds a Zipf generator with exponent s > 0 over [0, n).
+// Address 0 is the most popular.
+func NewZipf(n int64, s float64, rng *blockcipher.RNG) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be positive, got %v", s)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return "zipf" }
+
+// Next implements Generator.
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// Replay yields a fixed recorded trace, then wraps around.
+type Replay struct {
+	trace []int64
+	next  int
+}
+
+// NewReplay wraps a recorded address trace.
+func NewReplay(trace []int64) (*Replay, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	owned := make([]int64, len(trace))
+	copy(owned, trace)
+	return &Replay{trace: owned}, nil
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return "replay" }
+
+// Next implements Generator.
+func (r *Replay) Next() int64 {
+	v := r.trace[r.next]
+	r.next = (r.next + 1) % len(r.trace)
+	return v
+}
+
+// Take materialises the next k addresses from g.
+func Take(g Generator, k int) []int64 {
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/blockcipher"
+)
+
+func rng() *blockcipher.RNG { return blockcipher.NewRNGFromString("workload-test") }
+
+func TestHotspotValidation(t *testing.T) {
+	r := rng()
+	if _, err := NewHotspot(0, 0.8, 0.2, r); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewHotspot(10, 1.5, 0.2, r); err == nil {
+		t.Error("accepted hotFrac > 1")
+	}
+	if _, err := NewHotspot(10, 0.8, 0, r); err == nil {
+		t.Error("accepted hotSize = 0")
+	}
+	if _, err := NewHotspot(10, 0.8, 0.2, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestHotspotDistribution(t *testing.T) {
+	const n = 1000
+	g, err := NewHotspot(n, 0.8, 0.2, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HotLen() != 200 {
+		t.Fatalf("HotLen() = %d, want 200", g.HotLen())
+	}
+	const draws = 50000
+	inHot := 0
+	for i := 0; i < draws; i++ {
+		a := g.Next()
+		if a < 0 || a >= n {
+			t.Fatalf("address %d out of range", a)
+		}
+		if a < g.HotLen() {
+			inHot++
+		}
+	}
+	// Expected hot fraction: 0.8 + 0.2·0.2 = 0.84.
+	frac := float64(inHot) / draws
+	if frac < 0.81 || frac > 0.87 {
+		t.Fatalf("hot fraction = %.3f, want ≈0.84", frac)
+	}
+}
+
+func TestHotspotTinyRegionNonEmpty(t *testing.T) {
+	g, err := NewHotspot(3, 0.8, 0.01, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HotLen() < 1 {
+		t.Fatal("hot region rounded to zero")
+	}
+	g.Next() // must not panic
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	g, err := NewUniform(16, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 2000; i++ {
+		a := g.Next()
+		if a < 0 || a >= 16 {
+			t.Fatalf("address %d out of range", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform over 16 hit only %d addresses in 2000 draws", len(seen))
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, rng()); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewUniform(4, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g, err := NewSequential(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("Next()[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewSequential(0); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewZipf(100, 1.0, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		a := g.Next()
+		if a < 0 || a >= 100 {
+			t.Fatalf("address %d out of range", a)
+		}
+		counts[a]++
+	}
+	// Rank 0 should dominate rank 50 heavily under s=1.
+	if counts[0] < 5*counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1, rng()); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewZipf(10, 0, rng()); err == nil {
+		t.Error("accepted s=0")
+	}
+	if _, err := NewZipf(10, 1, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	g, err := NewReplay([]int64{5, 9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 9, 2, 5}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("Next()[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+func TestReplayCopiesInput(t *testing.T) {
+	trace := []int64{1, 2, 3}
+	g, _ := NewReplay(trace)
+	trace[0] = 99
+	if got := g.Next(); got != 1 {
+		t.Fatalf("Replay aliases caller's slice: got %d", got)
+	}
+}
+
+func TestTake(t *testing.T) {
+	g, _ := NewSequential(10)
+	got := Take(g, 4)
+	for i, w := range []int64{0, 1, 2, 3} {
+		if got[i] != w {
+			t.Fatalf("Take = %v", got)
+		}
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	r := rng()
+	h, _ := NewHotspot(10, 0.8, 0.2, r)
+	u, _ := NewUniform(10, r)
+	s, _ := NewSequential(10)
+	z, _ := NewZipf(10, 1, r)
+	p, _ := NewReplay([]int64{1})
+	for _, g := range []Generator{h, u, s, z, p} {
+		if g.Name() == "" {
+			t.Errorf("%T has empty name", g)
+		}
+	}
+}
