@@ -1,0 +1,34 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` runs the same
+# gates CI enforces on push/PR.
+
+GO ?= go
+
+.PHONY: ci build vet fmt-check test race bench-smoke bench fmt
+
+ci: build vet fmt-check test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/horam ./internal/core ./internal/server
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full benchmark run (slow) — the reproduction's headline numbers.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .

@@ -13,6 +13,7 @@
 //	horam-bench -exp noshuffle           # §5.1 non-shuffle (Figure 5-2) case
 //	horam-bench -exp shootout            # all four schemes, one trace
 //	horam-bench -exp ablations           # Z sweep + scheduler schedule
+//	horam-bench -exp concurrency         # serving throughput vs TCP clients
 //
 // Absolute durations come from the calibrated device models (Table
 // 5-2); the claims under reproduction are the ratios.
@@ -27,18 +28,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
+	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *crypto); err != nil {
+	if err := run(*exp, *scale, *crypto, *reqs); err != nil {
 		fmt.Fprintln(os.Stderr, "horam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, crypto bool) error {
+func run(exp string, scale float64, crypto bool, reqs int) error {
 	all := exp == "all"
 	ran := false
 
@@ -157,6 +159,15 @@ func run(exp string, scale float64, crypto bool) error {
 			return err
 		}
 		fmt.Print(bench.FormatShuffleAlgs(algs))
+		fmt.Println()
+	}
+	if all || exp == "concurrency" {
+		ran = true
+		rows, err := bench.RunConcurrency([]int{1, 2, 4, 8, 16}, reqs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatConcurrency(rows))
 		fmt.Println()
 	}
 	if !ran {

@@ -3,35 +3,37 @@
 // shuffle all live on the server, so shuffle traffic never crosses the
 // (slow) network, while clients see a plain block API.
 //
+// The daemon is built on internal/server: concurrent connections are
+// accepted without a global lock, and requests arriving within the
+// batching window are drained through the scheduler's reorder buffer
+// as one batch, so multi-client traffic gets the paper's §4.2
+// request-grouping for free.
+//
 //	horamd -addr :7312 -blocks 65536 -mem 8388608
 //
-// Protocol (text, one request per line):
+// Protocol (text, one request per line; see internal/server):
 //
 //	READ <addr>\n                -> OK <hex>\n | ERR <msg>\n
 //	WRITE <addr> <hex>\n         -> OK\n       | ERR <msg>\n
-//	STATS\n                      -> OK requests=<n> hits=<n> ...\n
+//	MULTI <n>\n + n lines        -> OK <n>\n + n lines | ERR <msg>\n
+//	STATS\n                      -> OK requests=<n> ... mean_batch=<f> ...\n
 //	QUIT\n                       -> closes the connection
 package main
 
 import (
-	"bufio"
 	"encoding/hex"
 	"flag"
-	"fmt"
 	"log"
 	"net"
-	"strconv"
+	"os"
+	"os/signal"
 	"strings"
-	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/server"
 )
-
-// server wraps the client with the mutex that serialises connections.
-type server struct {
-	mu     sync.Mutex
-	client *core.Client
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7312", "listen address")
@@ -39,6 +41,9 @@ func main() {
 	blockSize := flag.Int("blocksize", 1024, "block size in bytes")
 	mem := flag.Int64("mem", 8<<20, "memory-tier budget in bytes")
 	keyHex := flag.String("key", strings.Repeat("2a", 32), "hex master key (32 bytes)")
+	window := flag.Duration("batch-window", server.DefaultBatchWindow, "how long to collect concurrent requests into one scheduler batch")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max logical requests per scheduler batch")
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "max concurrent connections")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -54,89 +59,40 @@ func main() {
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
-	srv := &server{client: client}
 
+	srv, err := server.New(server.Config{
+		Client:      client,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		MaxConns:    *maxConns,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("horamd: %v", err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
-	log.Printf("horamd: serving %d x %d B blocks on %s", *blocks, *blockSize, ln.Addr())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("horamd: accept: %v", err)
-			continue
-		}
-		go srv.handle(conn)
-	}
-}
+	log.Printf("horamd: serving %d x %d B blocks on %s (batch window %v, max batch %d, max conns %d)",
+		*blocks, *blockSize, ln.Addr(), *window, *maxBatch, *maxConns)
 
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.EqualFold(line, "QUIT") {
-			return
-		}
-		resp := s.dispatch(line)
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
+	// SIGINT/SIGTERM drain in-flight requests before exiting.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("horamd: %v: shutting down", s)
+		srv.Close()
+	}()
 
-func (s *server) dispatch(line string) string {
-	fields := strings.Fields(line)
-	cmd := strings.ToUpper(fields[0])
-	switch cmd {
-	case "READ":
-		if len(fields) != 2 {
-			return "ERR usage: READ <addr>"
-		}
-		addr, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return "ERR bad address"
-		}
-		s.mu.Lock()
-		data, err := s.client.Read(addr)
-		s.mu.Unlock()
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK " + hex.EncodeToString(data)
-	case "WRITE":
-		if len(fields) != 3 {
-			return "ERR usage: WRITE <addr> <hex>"
-		}
-		addr, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return "ERR bad address"
-		}
-		data, err := hex.DecodeString(fields[2])
-		if err != nil {
-			return "ERR bad hex payload"
-		}
-		s.mu.Lock()
-		err = s.client.Write(addr, data)
-		s.mu.Unlock()
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "STATS":
-		s.mu.Lock()
-		st := s.client.Stats()
-		s.mu.Unlock()
-		return fmt.Sprintf("OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s",
-			st.Requests, st.Hits, st.Misses, st.Shuffles, st.SimulatedTime)
-	default:
-		return "ERR unknown command " + cmd
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("horamd: %v", err)
 	}
+	st := srv.Stats()
+	cs := client.Stats()
+	log.Printf("horamd: served %d requests over %d connections in %d batches (mean batch %.2f, hist %s)",
+		st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
+	log.Printf("horamd: engine: hits=%d misses=%d shuffles=%d simtime=%s",
+		cs.Hits, cs.Misses, cs.Shuffles, cs.SimulatedTime.Round(time.Millisecond))
 }

@@ -3,25 +3,25 @@
 // on the "server", and this client talks to it over TCP, so the costly
 // reshuffle never crosses the network.
 //
-// The example spawns an in-process horamd-equivalent listener on a
-// random port, then drives it with the text protocol — run it with no
-// arguments, or point it at a separately launched horamd with -addr.
+// The example spawns an in-process horamd-equivalent listener (the
+// same internal/server package the daemon uses) on a random port,
+// then drives it with the typed client — run it with no arguments, or
+// point it at a separately launched horamd with -addr.
 //
 //	go run ./examples/remotestore
 //	go run ./cmd/horamd &  then  go run ./examples/remotestore -addr 127.0.0.1:7312
 package main
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"net"
-	"strings"
 
+	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/server"
 )
 
 func main() {
@@ -38,58 +38,52 @@ func main() {
 		fmt.Printf("started in-process block server on %s\n", target)
 	}
 
-	conn, err := net.Dial("tcp", target)
+	c, err := client.Dial(target)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	rw := bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	defer c.Close()
 
-	send := func(format string, args ...any) string {
-		fmt.Fprintf(rw, format+"\n", args...)
-		if err := rw.Flush(); err != nil {
-			log.Fatal(err)
-		}
-		line, err := rw.ReadString('\n')
-		if err != nil {
-			log.Fatal(err)
-		}
-		return strings.TrimSpace(line)
-	}
-
-	// Store a document split across blocks.
+	// Store a document, read it back.
 	doc := "the quick brown fox jumps over the lazy dog"
 	block := make([]byte, 1024)
 	copy(block, doc)
-	resp := send("WRITE 7 %s", hex.EncodeToString(block))
-	fmt.Println("WRITE 7 ->", resp)
-
-	resp = send("READ 7")
-	if !strings.HasPrefix(resp, "OK ") {
-		log.Fatalf("read failed: %s", resp)
+	if err := c.Write(7, block); err != nil {
+		log.Fatal(err)
 	}
-	data, err := hex.DecodeString(strings.TrimPrefix(resp, "OK "))
+	fmt.Println("WRITE 7 -> OK")
+	data, err := c.Read(7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("READ 7  -> %q\n", bytes.TrimRight(data, "\x00"))
 
-	// Hammer the same block: the server's ORAM hides the repetition
-	// from anyone watching its storage backend.
-	for i := 0; i < 10; i++ {
-		send("READ 7")
+	// MULTI: ten reads of the same block run as ONE scheduler batch on
+	// the server — the ORAM hides the repetition from anyone watching
+	// its storage backend, and the batch amortises the storage loads.
+	ops := make([]client.Op, 10)
+	for i := range ops {
+		ops[i] = client.Op{Addr: 7}
 	}
-	fmt.Println("STATS   ->", send("STATS"))
-	// QUIT closes the connection server-side; no reply is expected.
-	fmt.Fprintln(rw, "QUIT")
-	rw.Flush()
+	res, err := c.Batch(ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MULTI %d -> %d results, all equal: %v\n", len(ops), len(res),
+		bytes.Equal(res[0].Data, res[len(res)-1].Data))
+
+	kv, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STATS   -> requests=%s hits=%s misses=%s batches=%s mean_batch=%s\n",
+		kv["requests"], kv["hits"], kv["misses"], kv["batches"], kv["mean_batch"])
 }
 
-// startInProcessServer runs a minimal horamd-compatible listener and
-// returns its address. It reuses the same core.Client API the real
-// daemon wraps.
+// startInProcessServer runs the real serving stack (internal/server
+// over internal/core) on a random loopback port.
 func startInProcessServer() (string, error) {
-	client, err := core.Open(core.Options{
+	store, err := core.Open(core.Options{
 		Blocks:      8192,
 		BlockSize:   1024,
 		MemoryBytes: 1 << 20,
@@ -98,67 +92,14 @@ func startInProcessServer() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	srv, err := server.New(server.Config{Client: store})
+	if err != nil {
+		return "", err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", err
 	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go serve(conn, client)
-		}
-	}()
+	go srv.Serve(ln)
 	return ln.Addr().String(), nil
-}
-
-func serve(conn net.Conn, client *core.Client) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		fields := strings.Fields(strings.TrimSpace(sc.Text()))
-		if len(fields) == 0 {
-			continue
-		}
-		var resp string
-		switch strings.ToUpper(fields[0]) {
-		case "QUIT":
-			return
-		case "READ":
-			var addr int64
-			fmt.Sscan(fields[1], &addr)
-			data, err := client.Read(addr)
-			if err != nil {
-				resp = "ERR " + err.Error()
-			} else {
-				resp = "OK " + hex.EncodeToString(data)
-			}
-		case "WRITE":
-			var addr int64
-			fmt.Sscan(fields[1], &addr)
-			data, err := hex.DecodeString(fields[2])
-			if err == nil {
-				err = client.Write(addr, data)
-			}
-			if err != nil {
-				resp = "ERR " + err.Error()
-			} else {
-				resp = "OK"
-			}
-		case "STATS":
-			st := client.Stats()
-			resp = fmt.Sprintf("OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s",
-				st.Requests, st.Hits, st.Misses, st.Shuffles, st.SimulatedTime)
-		default:
-			resp = "ERR unknown command"
-		}
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
 }

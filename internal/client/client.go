@@ -1,0 +1,276 @@
+// Package client is the TCP client for the horamd block protocol
+// (see internal/server for the wire format). It supports pipelining —
+// many goroutines may issue requests on one connection and each
+// in-flight request only holds the send mutex while its bytes are
+// written, so requests from concurrent callers interleave on the wire
+// and land in the server's batching window together — and the MULTI
+// verb, which runs a whole slice of operations as one scheduler batch
+// on the server.
+package client
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned for calls after Close.
+var ErrClosed = errors.New("client: closed")
+
+// MaxBatchOps is the protocol's cap on one MULTI command; it mirrors
+// server.MaxMultiRequests (asserted equal in the server tests).
+const MaxBatchOps = 1024
+
+// call is one in-flight request awaiting its response lines.
+type call struct {
+	multi int // sub-responses expected after an OK header; 0 = single line
+	ch    chan result
+}
+
+type result struct {
+	lines []string
+	err   error
+}
+
+// Client is a connection to a horamd-protocol server. Safe for
+// concurrent use.
+type Client struct {
+	conn       net.Conn
+	w          *bufio.Writer
+	pending    chan *call
+	readerDone chan struct{}
+
+	mu     sync.Mutex // serialises writes and pending-queue order
+	closed bool
+}
+
+// Dial connects to a horamd-protocol server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		w:          bufio.NewWriter(conn),
+		pending:    make(chan *call, 128),
+		readerDone: make(chan struct{}),
+	}
+	go c.reader(bufio.NewReaderSize(conn, 64<<10))
+	return c, nil
+}
+
+// reader matches response lines to in-flight calls in send order.
+func (c *Client) reader(r *bufio.Reader) {
+	defer close(c.readerDone)
+	for pc := range c.pending {
+		res := result{}
+		line, err := readLine(r)
+		if err != nil {
+			pc.ch <- result{err: err}
+			c.drain(err)
+			return
+		}
+		res.lines = append(res.lines, line)
+		if pc.multi > 0 && strings.HasPrefix(line, "OK") {
+			for i := 0; i < pc.multi; i++ {
+				sub, err := readLine(r)
+				if err != nil {
+					res.err = err
+					break
+				}
+				res.lines = append(res.lines, sub)
+			}
+		}
+		pc.ch <- res
+		if res.err != nil {
+			c.drain(res.err)
+			return
+		}
+	}
+}
+
+// drain fails every remaining in-flight call after a transport error.
+// Close closes the pending channel once no sender can hold it, so the
+// range terminates.
+func (c *Client) drain(err error) {
+	for pc := range c.pending {
+		pc.ch <- result{err: err}
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// do writes the request lines and waits for the response. multi is
+// the number of sub-responses expected after an "OK n" header, 0 for
+// single-line responses. The send mutex is released before waiting,
+// so concurrent callers pipeline.
+func (c *Client) do(multi int, lines ...string) ([]string, error) {
+	pc := &call{multi: multi, ch: make(chan result, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for _, l := range lines {
+		c.w.WriteString(l)
+		c.w.WriteByte('\n')
+	}
+	if err := c.w.Flush(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending <- pc
+	c.mu.Unlock()
+	res := <-pc.ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.lines, nil
+}
+
+// Close sends QUIT (best effort), closes the connection and waits for
+// the reader to unwind. In-flight calls fail with a transport error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readerDone
+		return nil
+	}
+	c.closed = true
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	close(c.pending)
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// Read fetches one block.
+func (c *Client) Read(addr int64) ([]byte, error) {
+	lines, err := c.do(0, fmt.Sprintf("READ %d", addr))
+	if err != nil {
+		return nil, err
+	}
+	return parseReadLine(lines[0])
+}
+
+// Write stores one block.
+func (c *Client) Write(addr int64, data []byte) error {
+	lines, err := c.do(0, fmt.Sprintf("WRITE %d %s", addr, hex.EncodeToString(data)))
+	if err != nil {
+		return err
+	}
+	return parseOKLine(lines[0])
+}
+
+// Op is one operation of a Batch call.
+type Op struct {
+	Write bool
+	Addr  int64
+	Data  []byte // required for writes
+}
+
+// Result is the per-operation outcome of a Batch call.
+type Result struct {
+	Data []byte // read results; nil for writes
+	Err  error
+}
+
+// Batch runs the operations as one MULTI command — a single scheduler
+// batch on the server — and returns per-operation results in order.
+func (c *Client) Batch(ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if len(ops) > MaxBatchOps {
+		return nil, fmt.Errorf("client: batch of %d ops exceeds the protocol cap %d", len(ops), MaxBatchOps)
+	}
+	lines := make([]string, 0, len(ops)+1)
+	lines = append(lines, fmt.Sprintf("MULTI %d", len(ops)))
+	for _, op := range ops {
+		if op.Write {
+			lines = append(lines, fmt.Sprintf("WRITE %d %s", op.Addr, hex.EncodeToString(op.Data)))
+		} else {
+			lines = append(lines, fmt.Sprintf("READ %d", op.Addr))
+		}
+	}
+	resp, err := c.do(len(ops), lines...)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(resp[0], "OK") {
+		return nil, errors.New("client: " + strings.TrimPrefix(resp[0], "ERR "))
+	}
+	if len(resp) != len(ops)+1 {
+		return nil, fmt.Errorf("client: MULTI returned %d lines, want %d", len(resp)-1, len(ops))
+	}
+	out := make([]Result, len(ops))
+	for i, line := range resp[1:] {
+		if ops[i].Write {
+			out[i].Err = parseOKLine(line)
+		} else {
+			out[i].Data, out[i].Err = parseReadLine(line)
+		}
+	}
+	return out, nil
+}
+
+// Stats fetches the server's STATS line parsed into key=value pairs.
+func (c *Client) Stats() (map[string]string, error) {
+	lines, err := c.do(0, "STATS")
+	if err != nil {
+		return nil, err
+	}
+	line := lines[0]
+	if !strings.HasPrefix(line, "OK") {
+		return nil, errors.New("client: " + strings.TrimPrefix(line, "ERR "))
+	}
+	kv := make(map[string]string)
+	for _, f := range strings.Fields(line)[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	return kv, nil
+}
+
+// StatInt parses one numeric field of a Stats map.
+func StatInt(kv map[string]string, key string) (int64, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("client: stats field %q missing", key)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func parseOKLine(line string) error {
+	if line == "OK" || strings.HasPrefix(line, "OK ") {
+		return nil
+	}
+	return errors.New("client: " + strings.TrimPrefix(line, "ERR "))
+}
+
+func parseReadLine(line string) ([]byte, error) {
+	if !strings.HasPrefix(line, "OK ") {
+		return nil, errors.New("client: " + strings.TrimPrefix(line, "ERR "))
+	}
+	data, err := hex.DecodeString(strings.TrimPrefix(line, "OK "))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad response payload: %w", err)
+	}
+	return data, nil
+}

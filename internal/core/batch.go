@@ -1,0 +1,131 @@
+// Batched and asynchronous request submission. The scheduler's whole
+// design (§4.2: a reorder buffer grouping c in-memory hits with one
+// storage load per cycle) only pays off when it sees many requests at
+// once, so the library offers three grouping levels:
+//
+//   - ReadBatch/WriteBatch: synchronous convenience wrappers that run
+//     one whole slice of requests as a single scheduler batch;
+//   - Enqueue/Flush: an asynchronous future-based interface — any
+//     number of goroutines Enqueue, one Flush drains everything queued
+//     so far through the ROB as one batch and completes the futures.
+//
+// internal/server builds its network batching window on this layer.
+package core
+
+import (
+	"fmt"
+)
+
+// Future is the handle returned by Enqueue: it completes when a later
+// Flush (or FlushEvery loop) drains the request through the scheduler.
+type Future struct {
+	req  *Request
+	done chan struct{}
+	err  error
+}
+
+// Done returns a channel closed when the request has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the request completes and returns the block
+// contents (for reads; previous contents for writes) or the batch
+// error.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.done
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.req.Result, nil
+}
+
+// validate rejects malformed requests up front so one bad request
+// cannot poison a whole batch at Submit time.
+func (c *Client) validate(r *Request) error {
+	if r == nil {
+		return fmt.Errorf("core: nil request")
+	}
+	if r.Addr < 0 || r.Addr >= c.blocks {
+		return fmt.Errorf("core: address %d out of range [0,%d)", r.Addr, c.blocks)
+	}
+	if r.Op == OpWrite && len(r.Data) != c.blockSize {
+		return fmt.Errorf("core: write payload %d bytes, want %d", len(r.Data), c.blockSize)
+	}
+	return nil
+}
+
+// Enqueue validates and queues a request without executing it, and
+// returns a Future that completes at the next Flush. Safe for
+// concurrent use; requests complete in enqueue order within a flush.
+func (c *Client) Enqueue(r *Request) (*Future, error) {
+	if err := c.validate(r); err != nil {
+		return nil, err
+	}
+	f := &Future{req: r, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, r)
+	c.futures = append(c.futures, f)
+	c.mu.Unlock()
+	return f, nil
+}
+
+// PendingFutures returns the number of enqueued, unflushed requests.
+func (c *Client) PendingFutures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Flush drains every request enqueued so far through the scheduler as
+// one ROB batch and completes their futures. Requests enqueued while
+// the flush is running wait for the next Flush.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reqs, futs := c.pending, c.futures
+	c.pending, c.futures = nil, nil
+	if len(reqs) == 0 {
+		return nil
+	}
+	err := c.oram.RunBatch(reqs)
+	for _, f := range futs {
+		f.err = err
+		close(f.done)
+	}
+	return err
+}
+
+// ReadBatch reads all addresses as a single scheduler batch and
+// returns the block contents in the same order.
+func (c *Client) ReadBatch(addrs []int64) ([][]byte, error) {
+	reqs := make([]*Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = &Request{Op: OpRead, Addr: a}
+		if err := c.validate(reqs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Batch(reqs); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Result
+	}
+	return out, nil
+}
+
+// WriteBatch writes payloads[i] to addrs[i] as a single scheduler
+// batch.
+func (c *Client) WriteBatch(addrs []int64, payloads [][]byte) error {
+	if len(addrs) != len(payloads) {
+		return fmt.Errorf("core: %d addresses but %d payloads", len(addrs), len(payloads))
+	}
+	reqs := make([]*Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = &Request{Op: OpWrite, Addr: a, Data: payloads[i]}
+		if err := c.validate(reqs[i]); err != nil {
+			return err
+		}
+	}
+	return c.Batch(reqs)
+}

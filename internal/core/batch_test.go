@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestReadWriteBatch(t *testing.T) {
+	c := open(t)
+	var addrs []int64
+	var payloads [][]byte
+	for a := int64(0); a < 24; a++ {
+		addrs = append(addrs, a)
+		payloads = append(payloads, bytes.Repeat([]byte{byte(a + 1)}, 64))
+	}
+	if err := c.WriteBatch(addrs, payloads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range addrs {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("ReadBatch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	c := open(t)
+	if _, err := c.ReadBatch([]int64{0, 999}); err == nil {
+		t.Error("ReadBatch accepted out-of-range address")
+	}
+	if err := c.WriteBatch([]int64{0}, nil); err == nil {
+		t.Error("WriteBatch accepted mismatched lengths")
+	}
+	if err := c.WriteBatch([]int64{0}, [][]byte{{1, 2}}); err == nil {
+		t.Error("WriteBatch accepted short payload")
+	}
+	if _, err := c.Enqueue(&Request{Op: OpWrite, Addr: 0, Data: []byte("short")}); err == nil {
+		t.Error("Enqueue accepted short write payload")
+	}
+	if _, err := c.Enqueue(&Request{Addr: -1}); err == nil {
+		t.Error("Enqueue accepted negative address")
+	}
+}
+
+func TestEnqueueFlush(t *testing.T) {
+	c := open(t)
+	want := bytes.Repeat([]byte{42}, 64)
+	wf, err := c.Enqueue(&Request{Op: OpWrite, Addr: 5, Data: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := c.Enqueue(&Request{Op: OpRead, Addr: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.PendingFutures(); n != 2 {
+		t.Fatalf("PendingFutures = %d, want 2", n)
+	}
+	select {
+	case <-rf.Done():
+		t.Fatal("future completed before Flush")
+	default:
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rf.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("enqueued read did not observe enqueued write")
+	}
+	if n := c.PendingFutures(); n != 0 {
+		t.Fatalf("PendingFutures after flush = %d, want 0", n)
+	}
+	// Flush with nothing queued is a no-op.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClientUse hammers the client from many goroutines —
+// mixed single ops, batches, enqueues and stats — to prove the mutex
+// discipline under the race detector.
+func TestConcurrentClientUse(t *testing.T) {
+	c := open(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * 16)
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 64)
+			for i := 0; i < 10; i++ {
+				a := base + int64(i%16)
+				if err := c.Write(a, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := c.Read(a)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d: read-your-write violated at %d", w, a)
+					return
+				}
+				f, err := c.Enqueue(&Request{Op: OpRead, Addr: a})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := f.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

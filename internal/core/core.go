@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/blockcipher"
@@ -64,11 +65,21 @@ type Options struct {
 	Stages []horam.Stage
 }
 
-// Client is an H-ORAM session. Not safe for concurrent use; see
-// examples/multiuser for the shared-scheduler pattern.
+// Client is an H-ORAM session. All methods are safe for concurrent
+// use: the engine itself is single-threaded (the secure scheduler
+// must observe one serial request stream), so the client serialises
+// every engine entry on an internal mutex. Concurrent callers who
+// want their requests grouped into one scheduler batch should use
+// Enqueue/Flush or Batch rather than racing on Read/Write — see
+// internal/server for the batching front end built on top.
 type Client struct {
 	oram      *horam.ORAM
 	blockSize int
+	blocks    int64
+
+	mu      sync.Mutex // guards oram, pending, futures
+	pending []*Request
+	futures []*Future
 }
 
 // Open validates the options and constructs the client.
@@ -124,26 +135,51 @@ func Open(opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{oram: o, blockSize: opts.BlockSize}, nil
+	return &Client{oram: o, blockSize: opts.BlockSize, blocks: opts.Blocks}, nil
 }
 
 // BlockSize returns the client's block size in bytes.
 func (c *Client) BlockSize() int { return c.blockSize }
 
+// Blocks returns the logical data set size N in blocks.
+func (c *Client) Blocks() int64 { return c.blocks }
+
 // Read implements Store.
-func (c *Client) Read(addr int64) ([]byte, error) { return c.oram.Read(addr) }
+func (c *Client) Read(addr int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.oram.Read(addr)
+}
 
 // Write implements Store.
-func (c *Client) Write(addr int64, data []byte) error { return c.oram.Write(addr, data) }
+func (c *Client) Write(addr int64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.oram.Write(addr, data)
+}
 
 // Request mirrors horam.Request for batch submission.
 type Request = horam.Request
+
+// Op mirrors horam.Op for batch submission.
+type Op = horam.Op
+
+// Request operations, re-exported so batch callers need not import
+// the engine package.
+const (
+	OpRead  = horam.OpRead
+	OpWrite = horam.OpWrite
+)
 
 // Batch queues the requests and runs the scheduler until all of them
 // complete. Results land in each request's Result field. Batching is
 // the intended operating mode: a full reorder buffer lets the secure
 // scheduler group hits and misses with minimal dummy padding.
-func (c *Client) Batch(reqs []*Request) error { return c.oram.RunBatch(reqs) }
+func (c *Client) Batch(reqs []*Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.oram.RunBatch(reqs)
+}
 
 // Stats is a snapshot of the client's scheme counters and timing.
 type Stats struct {
@@ -155,6 +191,8 @@ type Stats struct {
 
 // Stats returns the counters accumulated so far.
 func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
 		Stats:         c.oram.Stats(),
 		SimulatedTime: c.oram.Clock().Now(),
@@ -165,5 +203,6 @@ func (c *Client) Stats() Stats {
 
 // Engine exposes the underlying H-ORAM instance for experiment
 // harnesses that need device stats or adversary hooks. Application
-// code should not need it.
+// code should not need it. The engine is not synchronised: do not
+// drive it while other goroutines use the client.
 func (c *Client) Engine() *horam.ORAM { return c.oram }

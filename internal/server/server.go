@@ -1,0 +1,487 @@
+// Package server is the concurrent batched network front-end for an
+// H-ORAM block store — the serving half of the paper's Figure 2-3 /
+// 5-2 deployment, built so heavy multi-client traffic actually feeds
+// the scheduler's request-grouping machinery (§4.2) instead of
+// trickling in one request at a time.
+//
+// Architecture: each TCP connection gets a reader goroutine that
+// parses requests and hands them to a single batcher goroutine over a
+// submit channel. The batcher collects everything that arrives within
+// a short window (or until the batch cap) and drains the whole window
+// through core.Client.Batch as ONE reorder-buffer batch, so one
+// storage load amortises across up to c in-memory hits exactly as the
+// paper's schedule intends. Completions flow back to the connection
+// goroutines over per-task done channels, keeping every client
+// asynchronous with respect to the others.
+//
+// Wire protocol (text, line-oriented; responses in request order):
+//
+//	READ <addr>                  -> OK <hex> | ERR <msg>
+//	WRITE <addr> <hex>           -> OK       | ERR <msg>
+//	MULTI <n>                    -> OK <n> then n lines  | ERR <msg>
+//	  followed by n lines, each READ <addr> or WRITE <addr> <hex>;
+//	  the n sub-requests run as one scheduler batch and the n
+//	  response lines mirror the single-request responses.
+//	STATS                        -> OK k=v ... (engine + server counters)
+//	QUIT                         -> closes the connection
+package server
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultBatchWindow = 2 * time.Millisecond
+	DefaultMaxBatch    = 64
+	DefaultMaxConns    = 256
+
+	// MaxMultiRequests bounds the <n> of one MULTI command.
+	MaxMultiRequests = 1024
+
+	// maxLineBytes bounds one protocol line (a WRITE line carries the
+	// hex payload, so this also bounds the block size at ~512 KiB).
+	maxLineBytes = 1 << 20
+)
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Config parameterises a Server. Zero values select the defaults
+// above.
+type Config struct {
+	// Client is the H-ORAM session every request is served from.
+	// Required. The server is its only driver on the hot path, so all
+	// scheduler batches pass through one serial stream as the secure
+	// scheduler requires.
+	Client *core.Client
+	// BatchWindow is how long the batcher waits for more requests
+	// after the first one arrives before draining the window.
+	BatchWindow time.Duration
+	// MaxBatch caps the logical requests grouped into one scheduler
+	// drain.
+	MaxBatch int
+	// MaxConns caps concurrently served connections; excess
+	// connections are refused with "ERR server busy".
+	MaxConns int
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// task is one connection's contribution to a batch window.
+type task struct {
+	reqs []*core.Request
+	done chan error
+}
+
+// Server accepts connections and batches their requests into the
+// shared scheduler.
+type Server struct {
+	cfg       Config
+	client    *core.Client
+	blocks    int64
+	blockSize int
+
+	submit      chan *task
+	quit        chan struct{}
+	batcherDone chan struct{}
+	wg          sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	st     counters
+}
+
+// New validates the config and starts the batcher. Callers must
+// Close the server even if Serve is never reached.
+func New(cfg Config) (*Server, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("server: Config.Client is required")
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:         cfg,
+		client:      cfg.Client,
+		blocks:      cfg.Client.Blocks(),
+		blockSize:   cfg.Client.BlockSize(),
+		submit:      make(chan *task, cfg.MaxConns),
+		quit:        make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+	}
+	go s.batcher()
+	return s, nil
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+			}
+			// Ride out transient accept failures (fd exhaustion under
+			// a connection flood) instead of killing every healthy
+			// connection with the daemon.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // matches net/http's accept-retry pattern
+				s.cfg.Logf("server: accept: %v (retrying)", err)
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if !s.admit(conn) {
+			continue
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// admit registers the connection or refuses it over the MaxConns cap.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		s.st.Rejected++
+		s.mu.Unlock()
+		fmt.Fprintln(conn, "ERR server busy")
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.st.Accepted++
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops accepting, lets in-flight requests complete and their
+// responses flush, then stops the batcher. Safe to call more than
+// once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.batcherDone
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	close(s.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	// Unblock connection readers while keeping the write side open so
+	// in-flight responses still reach the client.
+	for _, c := range conns {
+		if cr, ok := c.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		} else {
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	s.wg.Wait()
+	close(s.submit)
+	<-s.batcherDone
+	return nil
+}
+
+// dispatch hands one connection's requests to the batcher and waits
+// for the batch that contains them to drain.
+func (s *Server) dispatch(reqs []*core.Request) error {
+	t := &task{reqs: reqs, done: make(chan error, 1)}
+	select {
+	case s.submit <- t:
+	case <-s.quit:
+		return ErrClosed
+	}
+	return <-t.done
+}
+
+// batcher is the single goroutine that feeds the scheduler: it opens
+// a window on the first queued task, keeps collecting until the
+// window closes or the batch cap is hit, and drains everything as one
+// ROB batch.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	for {
+		t, ok := <-s.submit
+		if !ok {
+			return
+		}
+		reqs := append([]*core.Request(nil), t.reqs...)
+		waiters := []*task{t}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+		open := true
+	collect:
+		for len(reqs) < s.cfg.MaxBatch {
+			select {
+			case t2, ok2 := <-s.submit:
+				if !ok2 {
+					open = false
+					break collect
+				}
+				reqs = append(reqs, t2.reqs...)
+				waiters = append(waiters, t2)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		// A single task (one MULTI) may exceed MaxBatch on its own;
+		// chunk the drain so -max-batch really bounds per-drain
+		// latency for everyone sharing the scheduler.
+		var err error
+		for off := 0; off < len(reqs) && err == nil; off += s.cfg.MaxBatch {
+			end := off + s.cfg.MaxBatch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			err = s.client.Batch(reqs[off:end])
+			s.record(end - off)
+		}
+		for _, w := range waiters {
+			w.done <- err
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// handle serves one connection: parse, dispatch, respond. Responses
+// for a connection are written in request order; batching across
+// connections happens behind the submit channel.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	defer s.forget(conn)
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	w := bufio.NewWriter(conn)
+scan:
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "QUIT":
+			return
+		case "STATS":
+			fmt.Fprintln(w, s.statsLine())
+		case "READ", "WRITE":
+			req, msg := s.parseOp(fields)
+			if msg != "" {
+				fmt.Fprintln(w, "ERR "+msg)
+				break
+			}
+			if err := s.dispatch([]*core.Request{req}); err != nil {
+				fmt.Fprintln(w, "ERR "+err.Error())
+				break
+			}
+			writeOpResponse(w, req)
+		case "MULTI":
+			if !s.handleMulti(sc, w, fields) {
+				// Framing is no longer trustworthy (bad count, or
+				// the stream died mid-command): stop parsing and
+				// close after surfacing sc.Err below.
+				break scan
+			}
+		default:
+			fmt.Fprintln(w, "ERR unknown command "+fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	// A failed scan (oversized line, transport error) used to drop
+	// the connection silently; surface it to the client when the
+	// write side is still usable.
+	if err := sc.Err(); err != nil {
+		s.cfg.Logf("server: %s: scan: %v", conn.RemoteAddr(), err)
+		fmt.Fprintf(w, "ERR %v\n", err)
+	}
+	w.Flush()
+}
+
+// handleMulti reads the n sub-request lines of a MULTI command,
+// dispatches them as one task and writes the n+1 response lines. On a
+// sub-line validation error it still consumes the full declared frame
+// (keeping the stream in sync — leftover lines must never execute as
+// top-level commands), answers one ERR and lets the connection
+// continue. It returns false when framing is lost: an unusable count
+// (the n sub-lines can't be safely consumed) or a scan failure
+// mid-command; handle then surfaces sc.Err and closes.
+func (s *Server) handleMulti(sc *bufio.Scanner, w *bufio.Writer, fields []string) bool {
+	if len(fields) != 2 {
+		fmt.Fprintln(w, "ERR usage: MULTI <n>")
+		return true
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 || n > MaxMultiRequests {
+		fmt.Fprintf(w, "ERR MULTI count must be in [1,%d]\n", MaxMultiRequests)
+		return false
+	}
+	reqs := make([]*core.Request, 0, n)
+	badLine := ""
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return false
+		}
+		if badLine != "" {
+			continue // drain the rest of the frame
+		}
+		sub := strings.Fields(strings.TrimSpace(sc.Text()))
+		op := ""
+		if len(sub) > 0 {
+			op = strings.ToUpper(sub[0])
+		}
+		if op != "READ" && op != "WRITE" {
+			badLine = fmt.Sprintf("MULTI line %d: only READ/WRITE allowed", i+1)
+			continue
+		}
+		req, msg := s.parseOp(sub)
+		if msg != "" {
+			badLine = fmt.Sprintf("MULTI line %d: %s", i+1, msg)
+			continue
+		}
+		reqs = append(reqs, req)
+	}
+	if badLine != "" {
+		fmt.Fprintln(w, "ERR "+badLine)
+		return true
+	}
+	if err := s.dispatch(reqs); err != nil {
+		fmt.Fprintln(w, "ERR "+err.Error())
+		return true
+	}
+	fmt.Fprintf(w, "OK %d\n", n)
+	for _, req := range reqs {
+		writeOpResponse(w, req)
+	}
+	return true
+}
+
+// parseOp parses a READ/WRITE command (already split into fields) and
+// validates it against the store geometry, so a malformed request is
+// refused before it can poison a shared batch.
+func (s *Server) parseOp(fields []string) (*core.Request, string) {
+	op := strings.ToUpper(fields[0])
+	wantArgs := 2
+	if op == "WRITE" {
+		wantArgs = 3
+	}
+	if len(fields) != wantArgs {
+		if op == "WRITE" {
+			return nil, "usage: WRITE <addr> <hex>"
+		}
+		return nil, "usage: READ <addr>"
+	}
+	addr, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, "bad address"
+	}
+	if addr < 0 || addr >= s.blocks {
+		return nil, fmt.Sprintf("address %d out of range [0,%d)", addr, s.blocks)
+	}
+	if op == "READ" {
+		return &core.Request{Op: core.OpRead, Addr: addr}, ""
+	}
+	data, err := hex.DecodeString(fields[2])
+	if err != nil {
+		return nil, "bad hex payload"
+	}
+	if len(data) != s.blockSize {
+		return nil, fmt.Sprintf("payload %d bytes, want %d", len(data), s.blockSize)
+	}
+	return &core.Request{Op: core.OpWrite, Addr: addr, Data: data}, ""
+}
+
+// writeOpResponse emits the per-request success line.
+func writeOpResponse(w *bufio.Writer, req *core.Request) {
+	if req.Op == core.OpRead {
+		fmt.Fprintln(w, "OK "+hex.EncodeToString(req.Result))
+	} else {
+		fmt.Fprintln(w, "OK")
+	}
+}
+
+// statsLine renders the STATS response: engine counters followed by
+// the server's batching counters.
+func (s *Server) statsLine() string {
+	st := s.client.Stats()
+	ss := s.Stats()
+	return fmt.Sprintf(
+		"OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s",
+		st.Requests, st.Hits, st.Misses, st.Shuffles, st.SimulatedTime,
+		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch, ss.histString())
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram bucket boundaries for batch sizes: 1, 2, 3-4, 5-8, 9-16,
+// 17-32, 33-64, 65+.
+var histLabels = []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+
+// counters is the mutable server-side stats state, guarded by
+// Server.mu.
+type counters struct {
+	Accepted        int64
+	Rejected        int64
+	Batches         int64
+	BatchedRequests int64
+	Hist            [8]int64
+}
+
+// Stats is a snapshot of the server's serving counters. The batch
+// fields are the observable proof of request grouping: MeanBatch is
+// the mean number of logical requests drained per scheduler batch.
+type Stats struct {
+	// Accepted and Rejected count connections; Active is the number
+	// currently being served.
+	Accepted int64
+	Rejected int64
+	Active   int64
+	// Requests counts logical READ/WRITE requests completed, Batches
+	// the scheduler drains that served them.
+	Requests  int64
+	Batches   int64
+	MeanBatch float64
+	// Histogram counts batches by size bucket, in histLabels order.
+	Histogram [8]int64
+}
+
+// bucketFor maps a batch size to its histogram bucket.
+func bucketFor(size int) int {
+	switch {
+	case size <= 1:
+		return 0
+	case size == 2:
+		return 1
+	case size <= 4:
+		return 2
+	case size <= 8:
+		return 3
+	case size <= 16:
+		return 4
+	case size <= 32:
+		return 5
+	case size <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// record accounts one drained batch.
+func (s *Server) record(size int) {
+	s.mu.Lock()
+	s.st.Batches++
+	s.st.BatchedRequests += int64(size)
+	s.st.Hist[bucketFor(size)]++
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Accepted:  s.st.Accepted,
+		Rejected:  s.st.Rejected,
+		Active:    int64(len(s.conns)),
+		Requests:  s.st.BatchedRequests,
+		Batches:   s.st.Batches,
+		Histogram: s.st.Hist,
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	return st
+}
+
+// histString renders the non-empty histogram buckets as
+// "1:12,2:3,5-8:1".
+func (st Stats) histString() string {
+	var parts []string
+	for i, n := range st.Histogram {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", histLabels[i], n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// HistogramString renders the batch-size histogram for logs.
+func (st Stats) HistogramString() string { return st.histString() }
