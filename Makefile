@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench fmt
+.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard fmt
 
 ci: build vet fmt-check test race bench-smoke
 
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/server
+	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -29,6 +29,11 @@ bench-smoke:
 # Full benchmark run (slow) — the reproduction's headline numbers.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Regenerate the committed shard-scaling baseline (BENCH_shard.json):
+# aggregate throughput vs shard count through internal/engine.
+bench-shard:
+	$(GO) run ./cmd/horam-bench -exp shard -out BENCH_shard.json
 
 fmt:
 	gofmt -w .

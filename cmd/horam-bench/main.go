@@ -14,6 +14,7 @@
 //	horam-bench -exp shootout            # all four schemes, one trace
 //	horam-bench -exp ablations           # Z sweep + scheduler schedule
 //	horam-bench -exp concurrency         # serving throughput vs TCP clients
+//	horam-bench -exp shard               # sharded-engine throughput vs shard count
 //
 // Absolute durations come from the calibrated device models (Table
 // 5-2); the claims under reproduction are the ratios.
@@ -28,19 +29,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
+	out := flag.String("out", "", "also write the -exp shard sweep as a JSON baseline to this path")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *crypto, *reqs); err != nil {
+	if err := run(*exp, *scale, *crypto, *reqs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "horam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, crypto bool, reqs int) error {
+func run(exp string, scale float64, crypto bool, reqs int, out string) error {
 	all := exp == "all"
 	ran := false
 
@@ -169,6 +171,22 @@ func run(exp string, scale float64, crypto bool, reqs int) error {
 		}
 		fmt.Print(bench.FormatConcurrency(rows))
 		fmt.Println()
+	}
+	if all || exp == "shard" {
+		ran = true
+		p := bench.DefaultShardParams()
+		rows, err := bench.RunShard([]int{1, 2, 4, 8}, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatShard(rows, p))
+		fmt.Println()
+		if out != "" {
+			if err := bench.WriteShardJSON(out, rows, p); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -3,20 +3,22 @@
 // shuffle all live on the server, so shuffle traffic never crosses the
 // (slow) network, while clients see a plain block API.
 //
-// The daemon is built on internal/server: concurrent connections are
-// accepted without a global lock, and requests arriving within the
-// batching window are drained through the scheduler's reorder buffer
-// as one batch, so multi-client traffic gets the paper's §4.2
-// request-grouping for free.
+// The daemon is built on internal/server and internal/engine:
+// concurrent connections are accepted without a global lock, requests
+// arriving within the batching window are drained as one batch, and
+// the engine PRF-shards the address space across -shards independent
+// H-ORAM instances whose schedulers cycle concurrently — multi-client
+// traffic gets the paper's §4.2 request-grouping per shard AND
+// core-level parallelism across shards.
 //
-//	horamd -addr :7312 -blocks 65536 -mem 8388608
+//	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4
 //
 // Protocol (text, one request per line; see internal/server):
 //
 //	READ <addr>\n                -> OK <hex>\n | ERR <msg>\n
 //	WRITE <addr> <hex>\n         -> OK\n       | ERR <msg>\n
 //	MULTI <n>\n + n lines        -> OK <n>\n + n lines | ERR <msg>\n
-//	STATS\n                      -> OK requests=<n> ... mean_batch=<f> ...\n
+//	STATS\n                      -> OK requests=<n> ... shards=<s> s0_depth=<n> s0_cycles=<n> ...\n
 //	QUIT\n                       -> closes the connection
 package main
 
@@ -31,7 +33,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -39,7 +41,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7312", "listen address")
 	blocks := flag.Int64("blocks", 65536, "data set size in blocks")
 	blockSize := flag.Int("blocksize", 1024, "block size in bytes")
-	mem := flag.Int64("mem", 8<<20, "memory-tier budget in bytes")
+	mem := flag.Int64("mem", 8<<20, "total memory-tier budget in bytes (split across shards)")
+	shards := flag.Int("shards", 1, "H-ORAM shard count (parallel per-shard schedulers)")
 	keyHex := flag.String("key", strings.Repeat("2a", 32), "hex master key (32 bytes)")
 	window := flag.Duration("batch-window", server.DefaultBatchWindow, "how long to collect concurrent requests into one scheduler batch")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max logical requests per scheduler batch")
@@ -50,18 +53,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("horamd: bad -key: %v", err)
 	}
-	client, err := core.Open(core.Options{
+	eng, err := engine.New(engine.Options{
 		Blocks:      *blocks,
 		BlockSize:   *blockSize,
 		MemoryBytes: *mem,
 		Key:         key,
+		Shards:      *shards,
 	})
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
 
 	srv, err := server.New(server.Config{
-		Client:      client,
+		Engine:      eng,
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		MaxConns:    *maxConns,
@@ -74,8 +78,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
-	log.Printf("horamd: serving %d x %d B blocks on %s (batch window %v, max batch %d, max conns %d)",
-		*blocks, *blockSize, ln.Addr(), *window, *maxBatch, *maxConns)
+	log.Printf("horamd: serving %d x %d B blocks on %s (%d shards, batch window %v, max batch %d, max conns %d)",
+		*blocks, *blockSize, ln.Addr(), eng.Shards(), *window, *maxBatch, *maxConns)
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting.
 	sig := make(chan os.Signal, 1)
@@ -90,9 +94,15 @@ func main() {
 		log.Fatalf("horamd: %v", err)
 	}
 	st := srv.Stats()
-	cs := client.Stats()
-	log.Printf("horamd: served %d requests over %d connections in %d batches (mean batch %.2f, hist %s)",
+	sum := eng.Stats()
+	log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",
 		st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
-	log.Printf("horamd: engine: hits=%d misses=%d shuffles=%d simtime=%s",
-		cs.Hits, cs.Misses, cs.Shuffles, cs.SimulatedTime.Round(time.Millisecond))
+	log.Printf("horamd: engine: shards=%d hits=%d misses=%d shuffles=%d cycles=%d simtime=%s",
+		sum.Shards, sum.Hits, sum.Misses, sum.Shuffles, sum.Cycles, sum.SimTime.Round(time.Millisecond))
+	for _, sh := range st.PerShard {
+		log.Printf("horamd: shard %d: blocks=%d drains=%d reqs=%d mean=%.2f hist=%s cycles=%d shuffles=%d",
+			sh.Shard, sh.Blocks, sh.Batches, sh.Requests, sh.MeanBatch,
+			engine.FormatHist(sh.Hist), sh.Cycles, sh.Shuffles)
+	}
+	eng.Close()
 }

@@ -19,25 +19,27 @@ import (
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
 func main() {
 	clients := flag.Int("clients", 8, "number of concurrent TCP clients")
 	ops := flag.Int("ops", 50, "requests per client")
+	shards := flag.Int("shards", 2, "H-ORAM shard count")
 	flag.Parse()
 
-	store, err := core.Open(core.Options{
+	store, err := engine.New(engine.Options{
 		Blocks:      16384,
 		BlockSize:   512,
 		MemoryBytes: 2 << 20,
 		Key:         bytes.Repeat([]byte{0x17}, 32),
+		Shards:      *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Client: store})
+	srv, err := server.New(server.Config{Engine: store})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +87,12 @@ func main() {
 	fmt.Printf("scheduler batches: %d, mean batch size %.2f, histogram %s\n",
 		st.Batches, st.MeanBatch, st.HistogramString())
 	cs := store.Stats()
-	fmt.Printf("engine: hits=%d misses=%d dummyIO=%d shuffles=%d simtime=%v\n",
-		cs.Hits, cs.Misses, cs.DummyIO, cs.Shuffles, cs.SimulatedTime.Round(time.Millisecond))
+	fmt.Printf("engine: shards=%d hits=%d misses=%d shuffles=%d simtime=%v\n",
+		cs.Shards, cs.Hits, cs.Misses, cs.Shuffles, cs.SimTime.Round(time.Millisecond))
+	for _, sh := range store.ShardStats() {
+		fmt.Printf("  shard %d: drains=%d reqs=%d mean=%.2f hist=%s\n",
+			sh.Shard, sh.Batches, sh.Requests, sh.MeanBatch, engine.FormatHist(sh.Hist))
+	}
 	srv.Close()
+	store.Close()
 }

@@ -20,7 +20,7 @@ import (
 	"net"
 
 	"repro/internal/client"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -83,16 +83,17 @@ func main() {
 // startInProcessServer runs the real serving stack (internal/server
 // over internal/core) on a random loopback port.
 func startInProcessServer() (string, error) {
-	store, err := core.Open(core.Options{
+	store, err := engine.New(engine.Options{
 		Blocks:      8192,
 		BlockSize:   1024,
 		MemoryBytes: 1 << 20,
 		Key:         bytes.Repeat([]byte{0x2a}, 32),
+		Shards:      2,
 	})
 	if err != nil {
 		return "", err
 	}
-	srv, err := server.New(server.Config{Client: store})
+	srv, err := server.New(server.Config{Engine: store})
 	if err != nil {
 		return "", err
 	}

@@ -16,7 +16,7 @@ import (
 
 	"repro/internal/blockcipher"
 	"repro/internal/client"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -51,7 +51,7 @@ func runConcurrencyOne(clients, perClient int) (ConcurrencyRow, error) {
 		blockSize = 256
 		region    = 256
 	)
-	store, err := core.Open(core.Options{
+	store, err := engine.New(engine.Options{
 		Blocks:      int64(clients) * region * 2,
 		BlockSize:   blockSize,
 		MemoryBytes: 1 << 20,
@@ -61,7 +61,8 @@ func runConcurrencyOne(clients, perClient int) (ConcurrencyRow, error) {
 	if err != nil {
 		return ConcurrencyRow{}, err
 	}
-	srv, err := server.New(server.Config{Client: store})
+	defer store.Close()
+	srv, err := server.New(server.Config{Engine: store})
 	if err != nil {
 		return ConcurrencyRow{}, err
 	}

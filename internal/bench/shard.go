@@ -1,0 +1,194 @@
+// Shard-scaling benchmark: aggregate throughput versus shard count
+// through internal/engine. Two throughput figures are reported per
+// row, because they answer different questions:
+//
+//   - sim req/s divides the request count by the SLOWEST shard's
+//     virtual device time. Shards model independent hardware (each
+//     owns its own memory tree and storage partitions), so this is the
+//     deployment-model aggregate throughput — it scales with shard
+//     count regardless of how many host cores the benchmark machine
+//     has;
+//   - wall req/s is the real elapsed time of the run, which reflects
+//     host-core parallelism across the per-shard scheduler goroutines
+//     (flat on one core, scaling on a multi-core runner).
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/blockcipher"
+	"repro/internal/engine"
+)
+
+// ShardParams sizes one shard-scaling sweep.
+type ShardParams struct {
+	Blocks    int64
+	BlockSize int
+	MemBytes  int64 // total across shards
+	Requests  int
+	BatchSize int
+	Seed      string
+}
+
+// DefaultShardParams is the committed-baseline geometry: 16 Ki of
+// 256 B blocks, a 1 MiB memory tier (small enough that every shard
+// count crosses shuffle periods, so the baseline includes shuffle
+// cost), mixed read/write traffic.
+func DefaultShardParams() ShardParams {
+	return ShardParams{
+		Blocks:    16384,
+		BlockSize: 256,
+		MemBytes:  1 << 20,
+		Requests:  12000,
+		BatchSize: 384,
+		Seed:      "shard-bench",
+	}
+}
+
+// ShardRow is one shard-count measurement.
+type ShardRow struct {
+	Shards        int           `json:"shards"`
+	Requests      int           `json:"requests"`
+	Wall          time.Duration `json:"wall_ns"`
+	WallTput      float64       `json:"wall_req_per_s"`
+	SimTime       time.Duration `json:"sim_ns"` // max over shards
+	SimTput       float64       `json:"sim_req_per_s"`
+	Cycles        int64         `json:"cycles"`
+	Shuffles      int64         `json:"shuffles"`
+	MeanShardReqs float64       `json:"mean_shard_reqs"` // balance check
+}
+
+// RunShard sweeps the shard counts on the same logical workload: the
+// same seeded mixed read/write request stream is submitted in
+// equal-size batches, and the engine scatters each batch across the
+// shards' schedulers.
+func RunShard(shardCounts []int, p ShardParams) ([]ShardRow, error) {
+	rows := make([]ShardRow, 0, len(shardCounts))
+	for _, s := range shardCounts {
+		row, err := runShardOne(s, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runShardOne(shards int, p ShardParams) (ShardRow, error) {
+	e, err := engine.New(engine.Options{
+		Blocks:      p.Blocks,
+		BlockSize:   p.BlockSize,
+		MemoryBytes: p.MemBytes,
+		Insecure:    true,
+		Seed:        fmt.Sprintf("%s-%d", p.Seed, shards),
+		Shards:      shards,
+	})
+	if err != nil {
+		return ShardRow{}, err
+	}
+	defer e.Close()
+
+	// One seeded workload for every shard count: 80/20 hot-spot reads
+	// with a write every fourth request.
+	rng := blockcipher.NewRNGFromString(p.Seed + "-wl")
+	hot := p.Blocks / 20
+	if hot < 1 {
+		hot = 1
+	}
+	payload := bytes.Repeat([]byte{0x5a}, p.BlockSize)
+	reqs := make([]*engine.Request, p.Requests)
+	for i := range reqs {
+		var addr int64
+		if rng.Intn(10) < 8 {
+			addr = rng.Int63n(hot)
+		} else {
+			addr = rng.Int63n(p.Blocks)
+		}
+		if i%4 == 3 {
+			reqs[i] = &engine.Request{Op: engine.OpWrite, Addr: addr, Data: payload}
+		} else {
+			reqs[i] = &engine.Request{Op: engine.OpRead, Addr: addr}
+		}
+	}
+
+	start := time.Now()
+	for off := 0; off < len(reqs); off += p.BatchSize {
+		end := off + p.BatchSize
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		if err := e.Batch(reqs[off:end]); err != nil {
+			return ShardRow{}, err
+		}
+	}
+	wall := time.Since(start)
+
+	sum := e.Stats()
+	row := ShardRow{
+		Shards:        shards,
+		Requests:      p.Requests,
+		Wall:          wall,
+		WallTput:      float64(p.Requests) / wall.Seconds(),
+		SimTime:       sum.SimTime,
+		SimTput:       float64(p.Requests) / sum.SimTime.Seconds(),
+		Cycles:        sum.Cycles,
+		Shuffles:      sum.Shuffles,
+		MeanShardReqs: float64(sum.Requests) / float64(shards),
+	}
+	return row, nil
+}
+
+// FormatShard renders the sweep.
+func FormatShard(rows []ShardRow, p ShardParams) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "== sharded engine: aggregate throughput vs shard count (%d x %d B blocks, %d KiB memory, %d requests) ==\n",
+		p.Blocks, p.BlockSize, p.MemBytes>>10, p.Requests)
+	fmt.Fprintf(&b, "%7s %12s %12s %14s %12s %10s %10s\n",
+		"shards", "wall", "wall req/s", "sim (slowest)", "sim req/s", "cycles", "shuffles")
+	base := 0.0
+	for i, r := range rows {
+		if i == 0 {
+			base = r.SimTput
+		}
+		fmt.Fprintf(&b, "%7d %12s %12.0f %14s %12.0f %10d %10d   (%.2fx)\n",
+			r.Shards, r.Wall.Round(time.Millisecond), r.WallTput,
+			r.SimTime.Round(time.Millisecond), r.SimTput, r.Cycles, r.Shuffles, r.SimTput/base)
+	}
+	fmt.Fprintf(&b, "sim req/s = requests / slowest shard's virtual device time: shards are\n")
+	fmt.Fprintf(&b, "independent hardware, so this is the deployment-model aggregate throughput.\n")
+	fmt.Fprintf(&b, "wall req/s additionally depends on host cores (GOMAXPROCS=%d here).\n", runtime.GOMAXPROCS(0))
+	return b.String()
+}
+
+// ShardReport is the JSON baseline committed as BENCH_shard.json so
+// later PRs have a trajectory to compare against.
+type ShardReport struct {
+	Experiment string      `json:"experiment"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Params     ShardParams `json:"params"`
+	Rows       []ShardRow  `json:"rows"`
+}
+
+// WriteShardJSON writes the sweep as an indented JSON baseline.
+func WriteShardJSON(path string, rows []ShardRow, p ShardParams) error {
+	rep := ShardReport{
+		Experiment: "shard",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Params:     p,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestShardSimThroughputScales is the acceptance gate for the sharded
+// engine: on the deployment-model metric (requests / slowest shard's
+// virtual device time — shards are independent hardware), 4 shards
+// must deliver at least 2x the aggregate throughput of 1 shard. The
+// virtual clocks make this deterministic regardless of host cores.
+func TestShardSimThroughputScales(t *testing.T) {
+	p := ShardParams{
+		Blocks:    4096,
+		BlockSize: 128,
+		MemBytes:  1 << 20,
+		Requests:  4000,
+		BatchSize: 256,
+		Seed:      "shard-scaling-test",
+	}
+	rows, err := RunShard([]int{1, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, four := rows[0], rows[1]
+	if four.SimTput < 2*one.SimTput {
+		t.Fatalf("4 shards: %.0f sim req/s vs 1 shard: %.0f — %.2fx, want >= 2x",
+			four.SimTput, one.SimTput, four.SimTput/one.SimTput)
+	}
+	t.Logf("sim throughput: 1 shard %.0f req/s, 4 shards %.0f req/s (%.2fx)",
+		one.SimTput, four.SimTput, four.SimTput/one.SimTput)
+}

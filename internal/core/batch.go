@@ -75,22 +75,45 @@ func (c *Client) PendingFutures() int {
 	return len(c.pending)
 }
 
+// SetDrainHook registers fn to observe every non-empty Flush drain.
+// It is called with the drained request count, under the client's
+// lock, BEFORE the drained futures complete — so accounting done in
+// the hook is guaranteed visible by the time any waiter sees its
+// request finish. internal/engine uses it for per-shard drain
+// histograms. A nil fn removes the hook.
+func (c *Client) SetDrainHook(fn func(n int)) {
+	c.mu.Lock()
+	c.drainHook = fn
+	c.mu.Unlock()
+}
+
 // Flush drains every request enqueued so far through the scheduler as
 // one ROB batch and completes their futures. Requests enqueued while
-// the flush is running wait for the next Flush.
+// the flush is running wait for the next Flush: the queue is
+// snapshotted under the queue lock, then the drain runs under the
+// engine lock only, so concurrent Enqueue callers never stall behind
+// an in-flight drain. Concurrent Flush callers may drain their
+// snapshots in either order — keep one flusher per client when
+// cross-flush ordering matters (internal/engine runs exactly one per
+// shard).
 func (c *Client) Flush() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	reqs, futs := c.pending, c.futures
+	reqs, futs, hook := c.pending, c.futures, c.drainHook
 	c.pending, c.futures = nil, nil
+	c.mu.Unlock()
 	if len(reqs) == 0 {
 		return nil
 	}
+	c.oramMu.Lock()
 	err := c.oram.RunBatch(reqs)
+	if hook != nil {
+		hook(len(reqs))
+	}
 	for _, f := range futs {
 		f.err = err
 		close(f.done)
 	}
+	c.oramMu.Unlock()
 	return err
 }
 

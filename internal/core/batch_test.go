@@ -88,6 +88,59 @@ func TestEnqueueFlush(t *testing.T) {
 	}
 }
 
+// TestDrainHookFiresBeforeFuturesResolve: the hook must observe the
+// drain count before any waiter sees its future complete — the
+// ordering internal/engine's per-shard accounting depends on.
+func TestDrainHookFiresBeforeFuturesResolve(t *testing.T) {
+	c := open(t)
+	var drains []int
+	c.SetDrainHook(func(n int) { drains = append(drains, n) })
+	var futs []*Future
+	for a := int64(0); a < 3; a++ {
+		f, err := c.Enqueue(&Request{Op: OpRead, Addr: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	// Waiters sample the hook's view the moment their future resolves;
+	// the hook appends before the futures close (both under the client
+	// lock), so every waiter must observe a non-empty drain log.
+	observed := make(chan int, len(futs))
+	for _, f := range futs {
+		go func(f *Future) {
+			f.Wait()
+			observed <- len(drains)
+		}(f)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for range futs {
+		if n := <-observed; n == 0 {
+			t.Fatal("a future resolved before the drain hook fired")
+		}
+	}
+	if len(drains) != 1 || drains[0] != 3 {
+		t.Fatalf("drain hook observed %v, want one drain of 3", drains)
+	}
+	// An empty flush must not fire the hook; removal must stick even on
+	// the Enqueue+Flush path that does fire it.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetDrainHook(nil)
+	if _, err := c.Enqueue(&Request{Op: OpRead, Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(drains) != 1 {
+		t.Fatalf("drain hook fired %d times, want 1", len(drains))
+	}
+}
+
 // TestConcurrentClientUse hammers the client from many goroutines —
 // mixed single ops, batches, enqueues and stats — to prove the mutex
 // discipline under the race detector.

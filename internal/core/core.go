@@ -72,14 +72,23 @@ type Options struct {
 // want their requests grouped into one scheduler batch should use
 // Enqueue/Flush or Batch rather than racing on Read/Write — see
 // internal/server for the batching front end built on top.
+//
+// Two locks split the queue from the engine: Enqueue and
+// PendingFutures only touch queue state (mu), so they never wait for
+// an in-flight drain (oramMu) to finish — internal/engine scatters a
+// batch across shards without stalling behind whichever shard is
+// mid-drain.
 type Client struct {
 	oram      *horam.ORAM
 	blockSize int
 	blocks    int64
 
-	mu      sync.Mutex // guards oram, pending, futures
-	pending []*Request
-	futures []*Future
+	oramMu sync.Mutex // serialises all oram entries
+
+	mu        sync.Mutex // guards pending, futures, drainHook
+	pending   []*Request
+	futures   []*Future
+	drainHook func(n int)
 }
 
 // Open validates the options and constructs the client.
@@ -146,15 +155,15 @@ func (c *Client) Blocks() int64 { return c.blocks }
 
 // Read implements Store.
 func (c *Client) Read(addr int64) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
 	return c.oram.Read(addr)
 }
 
 // Write implements Store.
 func (c *Client) Write(addr int64, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
 	return c.oram.Write(addr, data)
 }
 
@@ -176,8 +185,8 @@ const (
 // the intended operating mode: a full reorder buffer lets the secure
 // scheduler group hits and misses with minimal dummy padding.
 func (c *Client) Batch(reqs []*Request) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
 	return c.oram.RunBatch(reqs)
 }
 
@@ -191,8 +200,8 @@ type Stats struct {
 
 // Stats returns the counters accumulated so far.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
 	return Stats{
 		Stats:         c.oram.Stats(),
 		SimulatedTime: c.oram.Clock().Now(),

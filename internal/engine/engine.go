@@ -1,0 +1,458 @@
+// Package engine shards one logical H-ORAM block store across S
+// independent H-ORAM instances so scheduler cycles scale with cores.
+// A single instance serialises every cycle on one goroutine (the
+// secure scheduler must observe one serial request stream), which
+// caps throughput at one core no matter how well the serving layer
+// batches. The engine keeps that invariant *per shard* while letting
+// S shards cycle concurrently:
+//
+//   - the block address space is PRF-partitioned: a keyed pseudorandom
+//     permutation of [0,N) is dealt round-robin into S shards, so the
+//     shard of an address is secret, the shards are balanced to within
+//     one block, and which shard serves a request reveals nothing an
+//     adversary could not already derive from the (public) address;
+//   - each shard owns a full H-ORAM stack — scheduler, reorder buffer,
+//     memory tree, storage partitions, devices, clocks — built from a
+//     per-shard key derived from the master key (independent sealer
+//     nonce streams, independent randomness);
+//   - each shard owns one scheduler goroutine. Batch scatters a batch
+//     to the shards' reorder buffers, kicks their schedulers, and
+//     gathers: every future resolves before Batch returns, and results
+//     land in the caller's requests in submission order.
+//
+// Per shard the paper's security argument is unchanged: the shard's
+// bus still shows one storage load overlapped with exactly c memory
+// paths per cycle, whatever the hit/miss mix (§4.2) — the trace tests
+// in this package assert it at every shard count.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blockcipher"
+	"repro/internal/core"
+	"repro/internal/horam"
+)
+
+// MaxShards bounds the shard count; one goroutine and one simulated
+// device pair per shard make larger values a configuration error.
+const MaxShards = 256
+
+// ErrClosed is returned by Batch/Read/Write after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures a sharded engine. Blocks, BlockSize, MemoryBytes,
+// Key/Insecure and Seed have core.Options semantics and describe the
+// WHOLE logical store; the engine splits them across shards.
+type Options struct {
+	// Blocks is the logical data set size N in blocks. Required.
+	Blocks int64
+	// BlockSize defaults to core.DefaultBlockSize.
+	BlockSize int
+	// MemoryBytes is the total memory-tier budget, divided evenly
+	// across shards. Required.
+	MemoryBytes int64
+	// Key is the 32-byte master key; per-shard keys are derived from
+	// it. Required unless Insecure is set.
+	Key []byte
+	// Insecure disables encryption and integrity (performance-model
+	// runs only).
+	Insecure bool
+	// Seed makes the engine deterministic for replayable experiments;
+	// empty derives everything from the key (or a fixed insecure seed).
+	Seed string
+	// Shards is the shard count S; 0 selects 1.
+	Shards int
+	// ShuffleRatio and Stages pass through to every shard.
+	ShuffleRatio float64
+	Stages       []horam.Stage
+}
+
+// shard is one H-ORAM instance plus its scheduler goroutine. The
+// goroutine is the shard's only driver on the hot path: Batch only
+// enqueues into the shard's reorder buffer and kicks it.
+type shard struct {
+	id     int
+	client *core.Client
+
+	// kick wakes the scheduler goroutine; capacity 1 coalesces kicks
+	// that arrive while a drain is running without losing any.
+	kick chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	batches  int64
+	requests int64
+	hist     [NumBuckets]int64
+}
+
+// run is the shard's scheduler goroutine: every kick drains whatever
+// is queued in the shard's reorder buffer as one batch and completes
+// the futures. Drain errors reach the waiters through their futures;
+// drain accounting happens in the client's drain hook (see New), which
+// fires before the futures complete so stats snapshots taken after a
+// finished batch always include it.
+func (s *shard) run() {
+	defer close(s.done)
+	for range s.kick {
+		s.client.Flush()
+	}
+}
+
+// recordDrain is the shard's drain hook.
+func (s *shard) recordDrain(n int) {
+	s.mu.Lock()
+	s.batches++
+	s.requests += int64(n)
+	s.hist[BucketFor(n)]++
+	s.mu.Unlock()
+}
+
+// Engine is a sharded H-ORAM session. All methods are safe for
+// concurrent use; concurrent Batch calls to the same shard coalesce
+// into shared scheduler drains.
+type Engine struct {
+	blocks    int64
+	blockSize int
+	shards    []*shard
+	shardOf   []int32 // global address -> shard index
+	local     []int64 // global address -> shard-local address
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// Request and Op mirror the core types; engine callers need not import
+// core for batch submission.
+type Request = core.Request
+
+// Request operations.
+const (
+	OpRead  = core.OpRead
+	OpWrite = core.OpWrite
+)
+
+// New validates the options, PRF-partitions the address space, builds
+// the S shard instances and starts their scheduler goroutines.
+func New(opts Options) (*Engine, error) {
+	if opts.Blocks <= 0 {
+		return nil, fmt.Errorf("engine: Blocks must be positive, got %d", opts.Blocks)
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = core.DefaultBlockSize
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 || opts.Shards > MaxShards {
+		return nil, fmt.Errorf("engine: Shards %d out of [1,%d]", opts.Shards, MaxShards)
+	}
+	if int64(opts.Shards) > opts.Blocks {
+		return nil, fmt.Errorf("engine: %d shards for %d blocks; every shard needs at least one block", opts.Shards, opts.Blocks)
+	}
+	memPerShard := opts.MemoryBytes / int64(opts.Shards)
+	if memPerShard <= 0 {
+		return nil, fmt.Errorf("engine: MemoryBytes %d too small for %d shards", opts.MemoryBytes, opts.Shards)
+	}
+
+	// Per-shard key material. With a real key, shard keys are PRF
+	// derivations of the master key, so every shard gets an independent
+	// sealer nonce stream and independent randomness — sharing the raw
+	// master key across shards would reuse CTR keystreams. Insecure
+	// mode derives per-shard seeds from the engine seed instead.
+	var prf *blockcipher.PRF
+	seed := opts.Seed
+	if opts.Insecure {
+		if seed == "" {
+			seed = "engine-insecure"
+		}
+	} else {
+		if len(opts.Key) != 32 {
+			return nil, fmt.Errorf("engine: Key must be 32 bytes, got %d", len(opts.Key))
+		}
+		var err error
+		prf, err = blockcipher.NewPRF(opts.Key)
+		if err != nil {
+			return nil, err
+		}
+		if seed == "" {
+			seed = string(prf.Derive("engine-seed", 32))
+		}
+	}
+
+	// PRF partition: deal a keyed pseudorandom permutation of the
+	// address space round-robin into the shards. Balanced to within one
+	// block, and the address->shard map is secret (derived from the
+	// key/seed), never from address arithmetic an adversary could
+	// correlate with workload structure.
+	e := &Engine{
+		blocks:    opts.Blocks,
+		blockSize: opts.BlockSize,
+		shardOf:   make([]int32, opts.Blocks),
+		local:     make([]int64, opts.Blocks),
+	}
+	partRNG := blockcipher.NewRNGFromString(seed + "/engine-partition")
+	perm := partRNG.Perm(int(opts.Blocks))
+	counts := make([]int64, opts.Shards)
+	for i, addr := range perm {
+		s := i % opts.Shards
+		e.shardOf[addr] = int32(s)
+		e.local[addr] = int64(i / opts.Shards)
+		counts[s]++
+	}
+
+	for s := 0; s < opts.Shards; s++ {
+		shardOpts := core.Options{
+			Blocks:       counts[s],
+			BlockSize:    opts.BlockSize,
+			MemoryBytes:  memPerShard,
+			Insecure:     opts.Insecure,
+			ShuffleRatio: opts.ShuffleRatio,
+			Stages:       opts.Stages,
+		}
+		if opts.Insecure {
+			shardOpts.Seed = fmt.Sprintf("%s/shard-%d", seed, s)
+		} else {
+			shardOpts.Key = prf.Derive(fmt.Sprintf("engine-shard-key-%d", s), 32)
+		}
+		client, err := core.Open(shardOpts)
+		if err != nil {
+			// Unwind the shards already running, or their goroutines
+			// leak on every failed construction attempt.
+			for _, sh := range e.shards {
+				close(sh.kick)
+				<-sh.done
+			}
+			return nil, fmt.Errorf("engine: shard %d: %w", s, err)
+		}
+		sh := &shard{
+			id:     s,
+			client: client,
+			kick:   make(chan struct{}, 1),
+			done:   make(chan struct{}),
+		}
+		client.SetDrainHook(sh.recordDrain)
+		go sh.run()
+		e.shards = append(e.shards, sh)
+	}
+	return e, nil
+}
+
+// Blocks returns the logical data set size N in blocks.
+func (e *Engine) Blocks() int64 { return e.blocks }
+
+// BlockSize returns the block size in bytes.
+func (e *Engine) BlockSize() int { return e.blockSize }
+
+// Shards returns the shard count S.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardOf returns the shard serving a global address.
+func (e *Engine) ShardOf(addr int64) int {
+	return int(e.shardOf[addr])
+}
+
+// Shard exposes shard i's underlying client for stats collection and
+// adversary hooks (trace tests). Do not drive it directly while the
+// engine is serving traffic.
+func (e *Engine) Shard(i int) *core.Client { return e.shards[i].client }
+
+// validate rejects a malformed request before anything is enqueued, so
+// one bad request cannot strand a half-scattered batch.
+func (e *Engine) validate(r *Request) error {
+	if r == nil {
+		return errors.New("engine: nil request")
+	}
+	if r.Addr < 0 || r.Addr >= e.blocks {
+		return fmt.Errorf("engine: address %d out of range [0,%d)", r.Addr, e.blocks)
+	}
+	if r.Op == OpWrite && len(r.Data) != e.blockSize {
+		return fmt.Errorf("engine: write payload %d bytes, want %d", len(r.Data), e.blockSize)
+	}
+	return nil
+}
+
+// Batch runs the requests as one logical batch: it scatters them to
+// the owning shards' reorder buffers (addresses translated to shard
+// space), kicks every involved scheduler, and gathers all futures
+// before returning. Results land in each request's Result field in
+// submission order. Requests for different shards execute
+// concurrently; requests for one shard keep their submission order, so
+// per-address read-your-writes semantics match the single-instance
+// engine.
+func (e *Engine) Batch(reqs []*Request) error {
+	for _, r := range reqs {
+		if err := e.validate(r); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
+	// Scatter: shadow requests carry the shard-local addresses so the
+	// caller's requests are never mutated.
+	shadows := make([]*Request, len(reqs))
+	futures := make([]*core.Future, len(reqs))
+	kicked := make(map[int]bool, len(e.shards))
+	var firstErr error
+	for i, r := range reqs {
+		sh := e.shards[e.shardOf[r.Addr]]
+		shadows[i] = &Request{Op: r.Op, Addr: e.local[r.Addr], Data: r.Data, User: r.User}
+		f, err := sh.client.Enqueue(shadows[i])
+		if err != nil {
+			// Cannot happen after validate (shard-local geometry is a
+			// projection of the global one) — but never strand what is
+			// already enqueued.
+			firstErr = fmt.Errorf("engine: shard %d: %w", sh.id, err)
+			break
+		}
+		futures[i] = f
+		kicked[sh.id] = true
+	}
+	for id := range kicked {
+		select {
+		case e.shards[id].kick <- struct{}{}:
+		default: // a kick is already pending; the drain will see us
+		}
+	}
+
+	// Gather: wait for every issued future, then copy results back in
+	// submission order.
+	for i, f := range futures {
+		if f == nil {
+			continue
+		}
+		if _, err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		reqs[i].Result = shadows[i].Result
+	}
+	return firstErr
+}
+
+// Read implements core.Store.
+func (e *Engine) Read(addr int64) ([]byte, error) {
+	r := &Request{Op: OpRead, Addr: addr}
+	if err := e.Batch([]*Request{r}); err != nil {
+		return nil, err
+	}
+	return r.Result, nil
+}
+
+// Write implements core.Store.
+func (e *Engine) Write(addr int64, data []byte) error {
+	return e.Batch([]*Request{{Op: OpWrite, Addr: addr, Data: data}})
+}
+
+// Close waits for in-flight batches and stops the shard scheduler
+// goroutines. Batch calls after Close return ErrClosed. Safe to call
+// more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		for _, sh := range e.shards {
+			<-sh.done
+		}
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	for _, sh := range e.shards {
+		close(sh.kick)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+}
+
+// Summary aggregates scheme counters across shards. SimTime is the
+// MAX of the shard clocks, not the sum: shards model independent
+// hardware running concurrently, so the batch of work is done when the
+// slowest shard is.
+type Summary struct {
+	Shards   int
+	Requests int64
+	Hits     int64
+	Misses   int64
+	Shuffles int64
+	Cycles   int64
+	Batches  int64 // per-shard scheduler drains, summed
+	SimTime  time.Duration
+}
+
+// Stats returns the aggregate counters.
+func (e *Engine) Stats() Summary {
+	sum := Summary{Shards: len(e.shards)}
+	for _, sh := range e.shards {
+		cs := sh.client.Stats()
+		sum.Requests += cs.Requests
+		sum.Hits += cs.Hits
+		sum.Misses += cs.Misses
+		sum.Shuffles += cs.Shuffles
+		sum.Cycles += cs.Cycles
+		if cs.SimulatedTime > sum.SimTime {
+			sum.SimTime = cs.SimulatedTime
+		}
+		sh.mu.Lock()
+		sum.Batches += sh.batches
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// ShardStats is one shard's serving snapshot: its queue depth, its
+// scheduler-drain histogram and its scheme counters.
+type ShardStats struct {
+	Shard      int
+	Blocks     int64
+	QueueDepth int   // requests enqueued but not yet drained
+	Batches    int64 // scheduler drains executed
+	Requests   int64 // logical requests drained
+	MeanBatch  float64
+	Hist       [NumBuckets]int64 // drains by size bucket
+	Cycles     int64
+	Hits       int64
+	Misses     int64
+	Shuffles   int64
+	SimTime    time.Duration
+}
+
+// ShardStats returns a per-shard snapshot, indexed by shard id.
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		cs := sh.client.Stats()
+		sh.mu.Lock()
+		st := ShardStats{
+			Shard:      i,
+			Blocks:     sh.client.Blocks(),
+			QueueDepth: sh.client.PendingFutures(),
+			Batches:    sh.batches,
+			Requests:   sh.requests,
+			Hist:       sh.hist,
+			Cycles:     cs.Cycles,
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			Shuffles:   cs.Shuffles,
+			SimTime:    cs.SimulatedTime,
+		}
+		sh.mu.Unlock()
+		if st.Batches > 0 {
+			st.MeanBatch = float64(st.Requests) / float64(st.Batches)
+		}
+		out[i] = st
+	}
+	return out
+}

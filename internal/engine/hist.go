@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumBuckets is the number of batch-size histogram buckets.
+const NumBuckets = 8
+
+// HistLabels names the batch-size buckets: 1, 2, 3-4, 5-8, 9-16,
+// 17-32, 33-64, 65+.
+var HistLabels = []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+
+// BucketFor maps a batch size to its histogram bucket.
+func BucketFor(size int) int {
+	switch {
+	case size <= 1:
+		return 0
+	case size == 2:
+		return 1
+	case size <= 4:
+		return 2
+	case size <= 8:
+		return 3
+	case size <= 16:
+		return 4
+	case size <= 32:
+		return 5
+	case size <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// FormatHist renders the non-empty buckets as "1:12,2:3,5-8:1", or "-"
+// when the histogram is empty.
+func FormatHist(hist [NumBuckets]int64) string {
+	var parts []string
+	for i, n := range hist {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", HistLabels[i], n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// SumHists returns the element-wise sum of per-shard histograms — the
+// aggregation STATS reports alongside the per-shard views.
+func SumHists(hists ...[NumBuckets]int64) [NumBuckets]int64 {
+	var out [NumBuckets]int64
+	for _, h := range hists {
+		for i, n := range h {
+			out[i] += n
+		}
+	}
+	return out
+}

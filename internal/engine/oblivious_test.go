@@ -1,0 +1,175 @@
+// Obliviousness regression: every shard's access-period bus must
+// present the identical shape every cycle — exactly one storage load
+// overlapped with exactly c memory-tier path accesses — regardless of
+// the workload's hit/miss mix and of the shard count. This is the
+// paper's §4.2 indistinguishability argument, asserted on recorded
+// device traces via internal/trace.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/horam"
+	"repro/internal/trace"
+)
+
+// shardShape is the adversary-visible per-cycle shape of one shard's
+// trace: the number of cycles and the (constant) number of memory-tier
+// device events each cycle presents.
+type shardShape struct {
+	cycles      int
+	memPerCycle int
+}
+
+// obliviousEngine builds an engine with a fixed c=3 schedule (so the
+// expected per-cycle shape is constant over the whole period) and
+// attaches a shuffle-filtered trace recorder to every shard.
+func obliviousEngine(t *testing.T, shards int, seed string) (*Engine, []*trace.Recorder) {
+	t.Helper()
+	e, err := New(Options{
+		Blocks:      1024,
+		BlockSize:   64,
+		MemoryBytes: 8 << 10,
+		Insecure:    true,
+		Seed:        seed,
+		Shards:      shards,
+		Stages:      []horam.Stage{{C: 3, Frac: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	recs := make([]*trace.Recorder, shards)
+	for i := 0; i < shards; i++ {
+		oram := e.Shard(i).Engine()
+		rec := trace.NewRecorder()
+		h := rec.Hook()
+		// Record only access-period traffic: the shuffle period has its
+		// own (sequential, data-independent) shape covered by the horam
+		// tests.
+		filtered := func(dev string, op device.Op, slot int64) {
+			if !oram.InShuffle() {
+				h(dev, op, slot)
+			}
+		}
+		oram.Stor().SetHook(filtered)
+		oram.Mem().SetHook(filtered)
+		recs[i] = rec
+	}
+	return e, recs
+}
+
+// analyzeShard groups one shard's trace into scheduler cycles
+// (delimited by storage-device events) and asserts the invariants that
+// do not depend on geometry: storage traffic is read-only during
+// access periods, every cycle has exactly one storage load, and every
+// cycle presents the same number of memory-tier events.
+func analyzeShard(t *testing.T, label string, rec *trace.Recorder, storName string) shardShape {
+	t.Helper()
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatalf("%s: no events recorded", label)
+	}
+	if events[0].Dev != storName {
+		t.Fatalf("%s: trace starts with %s/%s, want a storage load first (storage and memory phases overlap; the simulator issues the load before the paths)", label, events[0].Dev, events[0].Op)
+	}
+	memCounts := []int{}
+	current := -1
+	for _, ev := range events {
+		if ev.Dev == storName {
+			if ev.Op != device.OpRead {
+				t.Fatalf("%s: storage WRITE at slot %d during an access period (shuffle leak)", label, ev.Slot)
+			}
+			memCounts = append(memCounts, 0)
+			current = len(memCounts) - 1
+			continue
+		}
+		memCounts[current]++
+	}
+	per := memCounts[0]
+	for c, n := range memCounts {
+		if n != per {
+			t.Fatalf("%s: cycle %d presented %d memory events, cycle 0 presented %d — bus shape varies with the request mix", label, c, n, per)
+		}
+	}
+	return shardShape{cycles: len(memCounts), memPerCycle: per}
+}
+
+// TestBusShapeInvariantAcrossWorkloadsAndShardCounts runs two
+// adversarially different workloads — a cold uniform scan (maximal
+// misses) and a hot 8-address loop (maximal hits after warmup), with
+// writes mixed into the hot case — and asserts every shard's per-cycle
+// bus shape is identical across cycles, across the two workloads, and
+// across the shards of each engine, at shard counts 1, 2 and 4.
+func TestBusShapeInvariantAcrossWorkloadsAndShardCounts(t *testing.T) {
+	const requests = 360
+	workloads := []struct {
+		name string
+		addr func(rng *blockcipher.RNG, i int) int64
+		mix  bool // include writes
+	}{
+		{"cold-scan", func(rng *blockcipher.RNG, i int) int64 { return int64(i*13) % 1024 }, false},
+		{"hot-loop", func(rng *blockcipher.RNG, i int) int64 { return int64(i % 8) }, true},
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		shapes := make(map[string]map[int]shardShape) // workload -> shard -> shape
+		for _, wl := range workloads {
+			e, recs := obliviousEngine(t, shards, fmt.Sprintf("oblivious-%d", shards))
+			storName := e.Shard(0).Engine().Stor().Name()
+			rng := blockcipher.NewRNGFromString("oblivious-wl")
+			payload := bytes.Repeat([]byte{0xab}, 64)
+			var reqs []*Request
+			for i := 0; i < requests; i++ {
+				a := wl.addr(rng, i)
+				if wl.mix && i%3 == 0 {
+					reqs = append(reqs, &Request{Op: OpWrite, Addr: a, Data: payload})
+				} else {
+					reqs = append(reqs, &Request{Op: OpRead, Addr: a})
+				}
+			}
+			for off := 0; off < len(reqs); off += 60 {
+				end := off + 60
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				if err := e.Batch(reqs[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if shapes[wl.name] == nil {
+				shapes[wl.name] = make(map[int]shardShape)
+			}
+			for i, rec := range recs {
+				label := fmt.Sprintf("shards=%d %s shard %d", shards, wl.name, i)
+				shape := analyzeShard(t, label, rec, storName)
+				cycles := e.Shard(i).Stats().Cycles
+				if int64(shape.cycles) != cycles {
+					t.Fatalf("%s: trace shows %d cycles, scheduler counted %d — a cycle ran without its storage load", label, shape.cycles, cycles)
+				}
+				shapes[wl.name][i] = shape
+			}
+		}
+
+		// The shape (memory events per cycle) must not depend on the
+		// workload or on which shard served it — only cycle COUNTS may
+		// differ. All shards of an engine share one memory-tree
+		// geometry, so one constant describes them all.
+		ref := shapes[workloads[0].name][0].memPerCycle
+		for wl, perShard := range shapes {
+			for i, s := range perShard {
+				if s.memPerCycle != ref {
+					t.Errorf("shards=%d: workload %s shard %d presents %d memory events per cycle, want %d — hit/miss mix is visible on the bus",
+						shards, wl, i, s.memPerCycle, ref)
+				}
+			}
+		}
+		t.Logf("shards=%d: every cycle = 1 storage load + %d memory events, both workloads, all shards", shards, ref)
+	}
+}

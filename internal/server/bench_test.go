@@ -8,7 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/client"
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // BenchmarkConcurrentClients measures end-to-end serving throughput
@@ -29,17 +29,19 @@ func benchClients(b *testing.B, clients int) {
 		blockSize = 256
 		region    = 128
 	)
-	store, err := core.Open(core.Options{
+	store, err := engine.New(engine.Options{
 		Blocks:      int64(clients) * region,
 		BlockSize:   blockSize,
 		MemoryBytes: 1 << 20,
 		Insecure:    true,
 		Seed:        fmt.Sprint("bench-", clients),
+		Shards:      2,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := New(Config{Client: store})
+	defer store.Close()
+	srv, err := New(Config{Engine: store})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,11 +8,14 @@
 // parses requests and hands them to a single batcher goroutine over a
 // submit channel. The batcher collects everything that arrives within
 // a short window (or until the batch cap) and drains the whole window
-// through core.Client.Batch as ONE reorder-buffer batch, so one
-// storage load amortises across up to c in-memory hits exactly as the
-// paper's schedule intends. Completions flow back to the connection
-// goroutines over per-task done channels, keeping every client
-// asynchronous with respect to the others.
+// through engine.Engine.Batch as ONE logical batch: the engine
+// scatters it across its shards' reorder buffers, every shard's
+// scheduler drains its sub-batch concurrently (one storage load
+// amortised across up to c in-memory hits per cycle, exactly as the
+// paper's schedule intends), and the engine gathers the futures before
+// the batcher hands completions back to the connection goroutines over
+// per-task done channels — every client stays asynchronous with
+// respect to the others.
 //
 // Wire protocol (text, line-oriented; responses in request order):
 //
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Defaults for Config zero values.
@@ -60,11 +64,11 @@ var ErrClosed = errors.New("server: closed")
 // Config parameterises a Server. Zero values select the defaults
 // above.
 type Config struct {
-	// Client is the H-ORAM session every request is served from.
-	// Required. The server is its only driver on the hot path, so all
-	// scheduler batches pass through one serial stream as the secure
-	// scheduler requires.
-	Client *core.Client
+	// Engine is the sharded H-ORAM engine every request is served
+	// from. Required. The server is its only driver on the hot path,
+	// so each shard's scheduler still observes one serial request
+	// stream as the secure scheduler requires.
+	Engine *engine.Engine
 	// BatchWindow is how long the batcher waits for more requests
 	// after the first one arrives before draining the window.
 	BatchWindow time.Duration
@@ -88,7 +92,7 @@ type task struct {
 // shared scheduler.
 type Server struct {
 	cfg       Config
-	client    *core.Client
+	engine    *engine.Engine
 	blocks    int64
 	blockSize int
 
@@ -107,8 +111,8 @@ type Server struct {
 // New validates the config and starts the batcher. Callers must
 // Close the server even if Serve is never reached.
 func New(cfg Config) (*Server, error) {
-	if cfg.Client == nil {
-		return nil, errors.New("server: Config.Client is required")
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
 	}
 	if cfg.BatchWindow <= 0 {
 		cfg.BatchWindow = DefaultBatchWindow
@@ -124,9 +128,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:         cfg,
-		client:      cfg.Client,
-		blocks:      cfg.Client.Blocks(),
-		blockSize:   cfg.Client.BlockSize(),
+		engine:      cfg.Engine,
+		blocks:      cfg.Engine.Blocks(),
+		blockSize:   cfg.Engine.BlockSize(),
 		submit:      make(chan *task, cfg.MaxConns),
 		quit:        make(chan struct{}),
 		batcherDone: make(chan struct{}),
@@ -303,7 +307,7 @@ func (s *Server) batcher() {
 			if end > len(reqs) {
 				end = len(reqs)
 			}
-			err = s.client.Batch(reqs[off:end])
+			err = s.engine.Batch(reqs[off:end])
 			s.record(end - off)
 		}
 		for _, w := range waiters {
@@ -475,13 +479,25 @@ func writeOpResponse(w *bufio.Writer, req *core.Request) {
 	}
 }
 
-// statsLine renders the STATS response: engine counters followed by
-// the server's batching counters.
+// statsLine renders the STATS response: aggregate engine counters,
+// the server's window-level batching counters, and one group of keys
+// per shard (queue depth, cycles, drains, drain-size histogram). The
+// shard_hist key is the element-wise aggregation of the per-shard
+// histograms, so consumers that only want the old single-histogram
+// view still get one — built from the per-shard truth.
 func (s *Server) statsLine() string {
-	st := s.client.Stats()
+	sum := s.engine.Stats()
 	ss := s.Stats()
-	return fmt.Sprintf(
-		"OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s",
-		st.Requests, st.Hits, st.Misses, st.Shuffles, st.SimulatedTime,
-		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch, ss.histString())
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s shards=%d conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s shard_hist=%s",
+		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.SimTime, sum.Shards,
+		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch,
+		engine.FormatHist(ss.Histogram), engine.FormatHist(ss.ShardHistogram))
+	for _, sh := range ss.PerShard {
+		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
+			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.Batches,
+			sh.Shard, sh.Requests, sh.Shard, engine.FormatHist(sh.Hist))
+	}
+	return b.String()
 }

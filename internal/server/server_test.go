@@ -12,25 +12,28 @@ import (
 
 	"repro/internal/blockcipher"
 	"repro/internal/client"
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
-// startServer builds a small insecure store, serves it on a loopback
-// listener and returns the connect address plus the server handle.
+// startServer builds a small insecure store (2 shards unless the
+// caller provided an engine), serves it on a loopback listener and
+// returns the connect address plus the server handle.
 func startServer(t *testing.T, cfg Config) (string, *Server) {
 	t.Helper()
-	if cfg.Client == nil {
-		c, err := core.Open(core.Options{
+	if cfg.Engine == nil {
+		e, err := engine.New(engine.Options{
 			Blocks:      512,
 			BlockSize:   64,
 			MemoryBytes: 16 << 10,
 			Insecure:    true,
 			Seed:        "server-test",
+			Shards:      2,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.Client = c
+		t.Cleanup(e.Close)
+		cfg.Engine = e
 	}
 	srv, err := New(cfg)
 	if err != nil {
@@ -347,13 +350,14 @@ func TestConnLimit(t *testing.T) {
 // in-flight requests complete, Serve returns nil, and a later Serve
 // refuses.
 func TestGracefulShutdown(t *testing.T) {
-	storeClient, err := core.Open(core.Options{
-		Blocks: 256, BlockSize: 64, MemoryBytes: 16 << 10, Insecure: true, Seed: "shutdown",
+	store, err := engine.New(engine.Options{
+		Blocks: 256, BlockSize: 64, MemoryBytes: 16 << 10, Insecure: true, Seed: "shutdown", Shards: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Client: storeClient})
+	defer store.Close()
+	srv, err := New(Config{Engine: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,12 +449,102 @@ func TestStatsLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"requests", "hits", "misses", "shuffles", "batches", "mean_batch", "conns", "hist"} {
+	for _, key := range []string{"requests", "hits", "misses", "shuffles", "batches", "mean_batch", "conns", "hist",
+		"shards", "shard_hist", "s0_depth", "s0_cycles", "s0_batches", "s0_hist", "s1_depth", "s1_hist"} {
 		if _, ok := kv[key]; !ok {
 			t.Errorf("STATS missing %q (got %v)", key, kv)
 		}
 	}
 	if n, err := client.StatInt(kv, "requests"); err != nil || n != 1 {
 		t.Errorf("requests = %v (%v), want 1", kv["requests"], err)
+	}
+	if n, err := client.StatInt(kv, "shards"); err != nil || n != 2 {
+		t.Errorf("shards = %v (%v), want 2", kv["shards"], err)
+	}
+}
+
+// TestPerShardStatsAggregation is the regression test for the STATS
+// fix: the server used to report only a single global batch histogram;
+// it now reports one histogram per shard plus their aggregation, and
+// the aggregation must reconcile exactly with both the per-shard
+// counters and the server's window-level counters.
+func TestPerShardStatsAggregation(t *testing.T) {
+	e, err := engine.New(engine.Options{
+		Blocks:      512,
+		BlockSize:   64,
+		MemoryBytes: 16 << 10,
+		Insecure:    true,
+		Seed:        "per-shard-stats",
+		Shards:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	addr, srv := startServer(t, Config{Engine: e})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Two MULTI windows spanning the whole address space, so every
+	// shard drains at least once.
+	for round := 0; round < 2; round++ {
+		ops := make([]client.Op, 32)
+		for i := range ops {
+			ops[i] = client.Op{Addr: int64(round*256 + i*8)}
+		}
+		res, err := c.Batch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("round %d op %d: %v", round, i, r.Err)
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if len(st.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries, want 4", len(st.PerShard))
+	}
+	// Every logical request drains in exactly one shard: the per-shard
+	// request counts must sum to the server's window-level total.
+	var shardReqs, shardBatches int64
+	var wantAgg [engine.NumBuckets]int64
+	for _, sh := range st.PerShard {
+		if sh.Requests == 0 || sh.Batches == 0 {
+			t.Fatalf("shard %d drained nothing from an address-space-spanning workload", sh.Shard)
+		}
+		var bucketSum int64
+		for b, n := range sh.Hist {
+			bucketSum += n
+			wantAgg[b] += n // summed by hand: must not share code with Stats()
+		}
+		if bucketSum != sh.Batches {
+			t.Fatalf("shard %d histogram buckets sum to %d, Batches = %d", sh.Shard, bucketSum, sh.Batches)
+		}
+		shardReqs += sh.Requests
+		shardBatches += sh.Batches
+	}
+	if shardReqs != st.Requests {
+		t.Fatalf("per-shard requests sum to %d, server drained %d", shardReqs, st.Requests)
+	}
+	if st.ShardHistogram != wantAgg {
+		t.Fatalf("ShardHistogram %v is not the element-wise sum of the per-shard histograms %v", st.ShardHistogram, wantAgg)
+	}
+	var aggBuckets int64
+	for _, n := range st.ShardHistogram {
+		aggBuckets += n
+	}
+	if aggBuckets != shardBatches {
+		t.Fatalf("aggregated histogram counts %d drains, shards report %d", aggBuckets, shardBatches)
+	}
+	// The engine's own summary must agree with the server's view.
+	if sum := e.Stats(); sum.Requests != st.Requests || sum.Batches != shardBatches {
+		t.Fatalf("engine summary (requests=%d batches=%d) disagrees with server (requests=%d batches=%d)",
+			sum.Requests, sum.Batches, st.Requests, shardBatches)
 	}
 }

@@ -1,27 +1,25 @@
 package server
 
 import (
-	"fmt"
-	"strings"
+	"repro/internal/engine"
 )
 
-// Histogram bucket boundaries for batch sizes: 1, 2, 3-4, 5-8, 9-16,
-// 17-32, 33-64, 65+.
-var histLabels = []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
-
 // counters is the mutable server-side stats state, guarded by
-// Server.mu.
+// Server.mu. The histogram here is of window-level drains (what the
+// batching window grouped before handing to the engine); the per-shard
+// drain histograms live in the engine, which is the only place that
+// sees how a window scattered.
 type counters struct {
 	Accepted        int64
 	Rejected        int64
 	Batches         int64
 	BatchedRequests int64
-	Hist            [8]int64
+	Hist            [engine.NumBuckets]int64
 }
 
 // Stats is a snapshot of the server's serving counters. The batch
 // fields are the observable proof of request grouping: MeanBatch is
-// the mean number of logical requests drained per scheduler batch.
+// the mean number of logical requests drained per batching window.
 type Stats struct {
 	// Accepted and Rejected count connections; Active is the number
 	// currently being served.
@@ -29,49 +27,40 @@ type Stats struct {
 	Rejected int64
 	Active   int64
 	// Requests counts logical READ/WRITE requests completed, Batches
-	// the scheduler drains that served them.
+	// the window-level drains that served them.
 	Requests  int64
 	Batches   int64
 	MeanBatch float64
-	// Histogram counts batches by size bucket, in histLabels order.
-	Histogram [8]int64
+	// Histogram counts window-level drains by size bucket, in
+	// engine.HistLabels order.
+	Histogram [engine.NumBuckets]int64
+	// PerShard is the engine's per-shard serving snapshot: queue
+	// depth, scheduler-drain histogram and scheme counters per shard.
+	PerShard []engine.ShardStats
+	// ShardHistogram is the element-wise aggregation of the per-shard
+	// drain histograms — the replacement for the old single global
+	// batch histogram, now derived from per-shard truth.
+	ShardHistogram [engine.NumBuckets]int64
 }
 
-// bucketFor maps a batch size to its histogram bucket.
-func bucketFor(size int) int {
-	switch {
-	case size <= 1:
-		return 0
-	case size == 2:
-		return 1
-	case size <= 4:
-		return 2
-	case size <= 8:
-		return 3
-	case size <= 16:
-		return 4
-	case size <= 32:
-		return 5
-	case size <= 64:
-		return 6
-	default:
-		return 7
-	}
-}
-
-// record accounts one drained batch.
+// record accounts one window-level drain.
 func (s *Server) record(size int) {
 	s.mu.Lock()
 	s.st.Batches++
 	s.st.BatchedRequests += int64(size)
-	s.st.Hist[bucketFor(size)]++
+	s.st.Hist[engine.BucketFor(size)]++
 	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters, including the
+// per-shard view and its aggregation. The window counters are sampled
+// BEFORE the shard counters: shard drain hooks fire before a window's
+// futures resolve, which is before record() counts the window — so
+// sampling in this order keeps a snapshot under live traffic causally
+// consistent (per-shard sums can only lead the window totals, never
+// trail them).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
 		Accepted:  s.st.Accepted,
 		Rejected:  s.st.Rejected,
@@ -80,26 +69,19 @@ func (s *Server) Stats() Stats {
 		Batches:   s.st.Batches,
 		Histogram: s.st.Hist,
 	}
+	s.mu.Unlock()
+	st.PerShard = s.engine.ShardStats()
+	hists := make([][engine.NumBuckets]int64, len(st.PerShard))
+	for i, sh := range st.PerShard {
+		hists[i] = sh.Hist
+	}
+	st.ShardHistogram = engine.SumHists(hists...)
 	if st.Batches > 0 {
 		st.MeanBatch = float64(st.Requests) / float64(st.Batches)
 	}
 	return st
 }
 
-// histString renders the non-empty histogram buckets as
-// "1:12,2:3,5-8:1".
-func (st Stats) histString() string {
-	var parts []string
-	for i, n := range st.Histogram {
-		if n > 0 {
-			parts = append(parts, fmt.Sprintf("%s:%d", histLabels[i], n))
-		}
-	}
-	if len(parts) == 0 {
-		return "-"
-	}
-	return strings.Join(parts, ",")
-}
-
-// HistogramString renders the batch-size histogram for logs.
-func (st Stats) HistogramString() string { return st.histString() }
+// HistogramString renders the window-level batch-size histogram for
+// logs.
+func (st Stats) HistogramString() string { return engine.FormatHist(st.Histogram) }
