@@ -97,12 +97,12 @@ func main() {
 	sum := eng.Stats()
 	log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",
 		st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
-	log.Printf("horamd: engine: shards=%d hits=%d misses=%d shuffles=%d cycles=%d simtime=%s",
-		sum.Shards, sum.Hits, sum.Misses, sum.Shuffles, sum.Cycles, sum.SimTime.Round(time.Millisecond))
+	log.Printf("horamd: engine: shards=%d hits=%d misses=%d shuffles=%d cycles=%d padded=%d simtime=%s",
+		sum.Shards, sum.Hits, sum.Misses, sum.Shuffles, sum.Cycles, sum.Padded, sum.SimTime.Round(time.Millisecond))
 	for _, sh := range st.PerShard {
-		log.Printf("horamd: shard %d: blocks=%d drains=%d reqs=%d mean=%.2f hist=%s cycles=%d shuffles=%d",
+		log.Printf("horamd: shard %d: blocks=%d drains=%d reqs=%d mean=%.2f hist=%s cycles=%d pad=%d shuffles=%d",
 			sh.Shard, sh.Blocks, sh.Batches, sh.Requests, sh.MeanBatch,
-			engine.FormatHist(sh.Hist), sh.Cycles, sh.Shuffles)
+			engine.FormatHist(sh.Hist), sh.Cycles, sh.PadCycles, sh.Shuffles)
 	}
 	eng.Close()
 }

@@ -52,15 +52,20 @@ func DefaultShardParams() ShardParams {
 
 // ShardRow is one shard-count measurement.
 type ShardRow struct {
-	Shards        int           `json:"shards"`
-	Requests      int           `json:"requests"`
-	Wall          time.Duration `json:"wall_ns"`
-	WallTput      float64       `json:"wall_req_per_s"`
-	SimTime       time.Duration `json:"sim_ns"` // max over shards
-	SimTput       float64       `json:"sim_req_per_s"`
-	Cycles        int64         `json:"cycles"`
-	Shuffles      int64         `json:"shuffles"`
-	MeanShardReqs float64       `json:"mean_shard_reqs"` // balance check
+	Shards       int           `json:"shards"`
+	Requests     int           `json:"requests"`
+	Wall         time.Duration `json:"wall_ns"`
+	WallTput     float64       `json:"wall_req_per_s"`
+	SimTime      time.Duration `json:"sim_ns"` // max over shards
+	SimTput      float64       `json:"sim_req_per_s"`
+	Cycles       int64         `json:"cycles"`
+	PaddedCycles int64         `json:"padded_cycles"` // leveling cost (subset of cycles)
+	Shuffles     int64         `json:"shuffles"`
+	// MinShardReqs/MaxShardReqs are the extremes of the per-shard
+	// request counts — the balance check (a skewed partition shows a
+	// wide spread; the PRF deal should keep it narrow).
+	MinShardReqs int64 `json:"min_shard_reqs"`
+	MaxShardReqs int64 `json:"max_shard_reqs"`
 }
 
 // RunShard sweeps the shard counts on the same logical workload: the
@@ -130,15 +135,23 @@ func runShardOne(shards int, p ShardParams) (ShardRow, error) {
 
 	sum := e.Stats()
 	row := ShardRow{
-		Shards:        shards,
-		Requests:      p.Requests,
-		Wall:          wall,
-		WallTput:      float64(p.Requests) / wall.Seconds(),
-		SimTime:       sum.SimTime,
-		SimTput:       float64(p.Requests) / sum.SimTime.Seconds(),
-		Cycles:        sum.Cycles,
-		Shuffles:      sum.Shuffles,
-		MeanShardReqs: float64(sum.Requests) / float64(shards),
+		Shards:       shards,
+		Requests:     p.Requests,
+		Wall:         wall,
+		WallTput:     float64(p.Requests) / wall.Seconds(),
+		SimTime:      sum.SimTime,
+		SimTput:      float64(p.Requests) / sum.SimTime.Seconds(),
+		Cycles:       sum.Cycles,
+		PaddedCycles: sum.Padded,
+		Shuffles:     sum.Shuffles,
+	}
+	for i, sh := range e.ShardStats() {
+		if i == 0 || sh.Requests < row.MinShardReqs {
+			row.MinShardReqs = sh.Requests
+		}
+		if sh.Requests > row.MaxShardReqs {
+			row.MaxShardReqs = sh.Requests
+		}
 	}
 	return row, nil
 }

@@ -29,4 +29,16 @@ func TestShardSimThroughputScales(t *testing.T) {
 	}
 	t.Logf("sim throughput: 1 shard %.0f req/s, 4 shards %.0f req/s (%.2fx)",
 		one.SimTput, four.SimTput, four.SimTput/one.SimTput)
+
+	// Balance check on the real per-shard spread: the PRF deal should
+	// keep the hot-spot workload's requests within a sane band — a
+	// degenerate partition (everything on one shard) would also erase
+	// the throughput gain asserted above.
+	if four.MinShardReqs == 0 {
+		t.Fatalf("a shard served zero requests from a 4000-request workload: min=%d max=%d",
+			four.MinShardReqs, four.MaxShardReqs)
+	}
+	if four.MaxShardReqs > 4*four.MinShardReqs {
+		t.Errorf("per-shard request spread too wide: min=%d max=%d", four.MinShardReqs, four.MaxShardReqs)
+	}
 }

@@ -75,12 +75,17 @@ func (c *Client) PendingFutures() int {
 	return len(c.pending)
 }
 
-// SetDrainHook registers fn to observe every non-empty Flush drain.
-// It is called with the drained request count, under the client's
-// lock, BEFORE the drained futures complete — so accounting done in
-// the hook is guaranteed visible by the time any waiter sees its
-// request finish. internal/engine uses it for per-shard drain
-// histograms. A nil fn removes the hook.
+// SetDrainHook registers fn to observe every non-empty Flush drain
+// that succeeds (failed drains complete their futures with the error
+// but are not counted). It is called with the drained request count,
+// under the engine lock (oramMu) — NOT the queue lock, so it runs
+// concurrently with Enqueue/PendingFutures/SetDrainHook and must do
+// its own synchronisation — and BEFORE the drained futures complete,
+// so accounting done in the hook is guaranteed visible by the time
+// any waiter sees its request finish. internal/engine uses it for
+// per-shard drain histograms. A nil fn removes the hook for future
+// flushes; a drain already in flight has snapshotted the previous
+// hook and will still call it.
 func (c *Client) SetDrainHook(fn func(n int)) {
 	c.mu.Lock()
 	c.drainHook = fn
@@ -106,7 +111,7 @@ func (c *Client) Flush() error {
 	}
 	c.oramMu.Lock()
 	err := c.oram.RunBatch(reqs)
-	if hook != nil {
+	if err == nil && hook != nil {
 		hook(len(reqs))
 	}
 	for _, f := range futs {

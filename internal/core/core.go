@@ -210,6 +210,17 @@ func (c *Client) Stats() Stats {
 	}
 }
 
+// PadToCycles runs dummy scheduler cycles — bus-indistinguishable
+// from real ones — until the client's cumulative cycle count reaches
+// target, and returns how many it ran (zero if the count was already
+// there). internal/engine calls it at batch boundaries to equalise
+// cycle counts across shards.
+func (c *Client) PadToCycles(target int64) (int64, error) {
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
+	return c.oram.PadToCycles(target)
+}
+
 // Engine exposes the underlying H-ORAM instance for experiment
 // harnesses that need device stats or adversary hooks. Application
 // code should not need it. The engine is not synchronised: do not

@@ -8,9 +8,8 @@
 //
 //   - the block address space is PRF-partitioned: a keyed pseudorandom
 //     permutation of [0,N) is dealt round-robin into S shards, so the
-//     shard of an address is secret, the shards are balanced to within
-//     one block, and which shard serves a request reveals nothing an
-//     adversary could not already derive from the (public) address;
+//     shard of an address is secret and the shards are balanced to
+//     within one block;
 //   - each shard owns a full H-ORAM stack — scheduler, reorder buffer,
 //     memory tree, storage partitions, devices, clocks — built from a
 //     per-shard key derived from the master key (independent sealer
@@ -20,10 +19,43 @@
 //     gathers: every future resolves before Batch returns, and results
 //     land in the caller's requests in submission order.
 //
-// Per shard the paper's security argument is unchanged: the shard's
-// bus still shows one storage load overlapped with exactly c memory
-// paths per cycle, whatever the hit/miss mix (§4.2) — the trace tests
-// in this package assert it at every shard count.
+// # Security
+//
+// Per shard the paper's argument is unchanged: the shard's bus still
+// shows one storage load overlapped with exactly c memory paths per
+// cycle, whatever the hit/miss mix (§4.2) — the trace tests in this
+// package assert it at every shard count.
+//
+// Sharding on its own, however, would open a channel a single
+// instance does not have: shards are separate device stacks, so a
+// device-level adversary sees how many cycles each shard runs, and
+// with a fixed (even if secret) address→shard map that per-shard
+// traffic volume reflects the workload's address collision structure
+// — a hot single address drives exactly one shard, a uniform scan
+// drives all of them evenly. The PRF partition does NOT fix this:
+// logical addresses are exactly what an ORAM must hide, so "which
+// shard is busy" must not depend on them.
+//
+// The engine therefore levels cycle counts at every batch boundary:
+// after a batch's futures resolve, every shard is padded with dummy
+// scheduler cycles (horam.PadToCycles — one random prefetch load plus
+// c dummy memory paths, bus-indistinguishable from real cycles,
+// consuming miss budget and triggering shuffles like real cycles)
+// until all shards reach the maximum cumulative cycle count. Whenever
+// the engine is quiescent every shard has run the identical number of
+// cycles, so the adversary observes S identical traffic volumes —
+// exactly the information (total cycle count) a single unsharded
+// instance already reveals, and nothing about how requests collided
+// across shards. The obliviousness tests in this package assert both
+// properties: per-cycle bus shape per shard, and cross-shard cycle
+// equality under adversarially skewed workloads.
+//
+// Residual channel: leveling equalises counts at batch boundaries,
+// not the real-time interleaving of per-shard device activity while a
+// batch is in flight. The simulator's threat model (recorded
+// per-device traces, virtual clocks) has no cross-shard wall-clock
+// ordering; a deployment with S physically separate devices should
+// drive shards in lockstep cycles if that timing channel matters.
 package engine
 
 import (
@@ -83,18 +115,19 @@ type shard struct {
 	kick chan struct{}
 	done chan struct{}
 
-	mu       sync.Mutex
-	batches  int64
-	requests int64
-	hist     [NumBuckets]int64
+	mu        sync.Mutex
+	batches   int64
+	requests  int64
+	padCycles int64 // dummy cycles run by leveling (see Engine.level)
+	hist      [NumBuckets]int64
 }
 
 // run is the shard's scheduler goroutine: every kick drains whatever
 // is queued in the shard's reorder buffer as one batch and completes
 // the futures. Drain errors reach the waiters through their futures;
 // drain accounting happens in the client's drain hook (see New), which
-// fires before the futures complete so stats snapshots taken after a
-// finished batch always include it.
+// fires only for successful drains and before their futures complete,
+// so stats snapshots taken after a finished batch always include it.
 func (s *shard) run() {
 	defer close(s.done)
 	for range s.kick {
@@ -251,15 +284,25 @@ func (e *Engine) BlockSize() int { return e.blockSize }
 // Shards returns the shard count S.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// ShardOf returns the shard serving a global address.
+// ShardOf returns the shard serving a global address. It panics on an
+// out-of-range address.
 func (e *Engine) ShardOf(addr int64) int {
+	if addr < 0 || addr >= e.blocks {
+		panic(fmt.Sprintf("engine: ShardOf(%d): address out of range [0,%d)", addr, e.blocks))
+	}
 	return int(e.shardOf[addr])
 }
 
 // Shard exposes shard i's underlying client for stats collection and
-// adversary hooks (trace tests). Do not drive it directly while the
-// engine is serving traffic.
-func (e *Engine) Shard(i int) *core.Client { return e.shards[i].client }
+// adversary hooks (trace tests). It panics on an out-of-range index.
+// Do not drive the client directly while the engine is serving
+// traffic.
+func (e *Engine) Shard(i int) *core.Client {
+	if i < 0 || i >= len(e.shards) {
+		panic(fmt.Sprintf("engine: Shard(%d): index out of range [0,%d)", i, len(e.shards)))
+	}
+	return e.shards[i].client
+}
 
 // validate rejects a malformed request before anything is enqueued, so
 // one bad request cannot strand a half-scattered batch.
@@ -278,8 +321,9 @@ func (e *Engine) validate(r *Request) error {
 
 // Batch runs the requests as one logical batch: it scatters them to
 // the owning shards' reorder buffers (addresses translated to shard
-// space), kicks every involved scheduler, and gathers all futures
-// before returning. Results land in each request's Result field in
+// space), kicks every involved scheduler, gathers all futures, and
+// levels cycle counts across the shards (see the package doc) before
+// returning. Results land in each request's Result field in
 // submission order. Requests for different shards execute
 // concurrently; requests for one shard keep their submission order, so
 // per-address read-your-writes semantics match the single-instance
@@ -337,7 +381,62 @@ func (e *Engine) Batch(reqs []*Request) error {
 		}
 		reqs[i].Result = shadows[i].Result
 	}
+
+	// Level even when the batch failed: whatever real cycles did run
+	// must still be masked.
+	if err := e.level(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
+}
+
+// level pads every shard with dummy scheduler cycles up to the current
+// maximum cumulative cycle count, so per-shard traffic volume is
+// workload-independent (see the package doc). Concurrent batches may
+// interleave their level passes with each other's drains; padding only
+// ever raises a shard toward the observed maximum, which real drains
+// alone can raise, so counts converge to equality whenever the engine
+// is quiescent — the last batch to finish observes the true maximum
+// and levels everything to it.
+func (e *Engine) level() error {
+	if len(e.shards) == 1 {
+		return nil // a single instance has no cross-shard channel
+	}
+	counts := make([]int64, len(e.shards))
+	var target int64
+	for i, sh := range e.shards {
+		counts[i] = sh.client.Stats().Cycles
+		if counts[i] > target {
+			target = counts[i]
+		}
+	}
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		if counts[i] >= target {
+			continue // may still be raised by a concurrent drain; that batch levels
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			padded, err := sh.client.PadToCycles(target)
+			if padded > 0 {
+				sh.mu.Lock()
+				sh.padCycles += padded
+				sh.mu.Unlock()
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("engine: shard %d: leveling: %w", sh.id, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Read implements core.Store.
@@ -389,6 +488,7 @@ type Summary struct {
 	Shuffles int64
 	Cycles   int64
 	Batches  int64 // per-shard scheduler drains, summed
+	Padded   int64 // leveling dummy cycles, summed (subset of Cycles)
 	SimTime  time.Duration
 }
 
@@ -407,6 +507,7 @@ func (e *Engine) Stats() Summary {
 		}
 		sh.mu.Lock()
 		sum.Batches += sh.batches
+		sum.Padded += sh.padCycles
 		sh.mu.Unlock()
 	}
 	return sum
@@ -423,6 +524,7 @@ type ShardStats struct {
 	MeanBatch  float64
 	Hist       [NumBuckets]int64 // drains by size bucket
 	Cycles     int64
+	PadCycles  int64 // leveling dummy cycles (subset of Cycles)
 	Hits       int64
 	Misses     int64
 	Shuffles   int64
@@ -443,6 +545,7 @@ func (e *Engine) ShardStats() []ShardStats {
 			Requests:   sh.requests,
 			Hist:       sh.hist,
 			Cycles:     cs.Cycles,
+			PadCycles:  sh.padCycles,
 			Hits:       cs.Hits,
 			Misses:     cs.Misses,
 			Shuffles:   cs.Shuffles,

@@ -489,3 +489,47 @@ func BenchmarkHORAMBatch(b *testing.B) {
 		})
 	}
 }
+
+// TestPadToCycles: padding runs exactly enough dummy cycles to reach
+// the target, each with the standard bus shape (one storage load, so
+// DummyIO advances in step), refuses to run with requests queued, and
+// no-ops when the counter is already at or past the target.
+func TestPadToCycles(t *testing.T) {
+	o := build(t, 256, 32, 64)
+	if _, err := o.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	base := o.Stats()
+
+	padded, err := o.PadToCycles(base.Cycles + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded != 5 {
+		t.Fatalf("PadToCycles ran %d cycles, want 5", padded)
+	}
+	st := o.Stats()
+	if st.Cycles != base.Cycles+5 {
+		t.Fatalf("Cycles = %d, want %d", st.Cycles, base.Cycles+5)
+	}
+	if st.DummyIO != base.DummyIO+5 {
+		t.Fatalf("DummyIO advanced %d, want 5 (every pad cycle must issue its storage load)", st.DummyIO-base.DummyIO)
+	}
+	if st.Requests != base.Requests {
+		t.Fatalf("padding completed %d requests", st.Requests-base.Requests)
+	}
+
+	if padded, err := o.PadToCycles(0); err != nil || padded != 0 {
+		t.Fatalf("PadToCycles(0) = (%d, %v), want no-op", padded, err)
+	}
+
+	if err := o.Submit(&Request{Op: OpRead, Addr: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.PadToCycles(st.Cycles + 1); err == nil {
+		t.Fatal("PadToCycles ran with a request queued in the ROB")
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

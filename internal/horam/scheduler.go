@@ -40,13 +40,43 @@ func (o *ORAM) Pending() int { return len(o.rob) }
 // c memory-tier path accesses (hits from the window, padded with
 // dummies), so every cycle shows the adversary the same shape
 // regardless of the actual hit/miss mix (§4.2).
+//
+// A failed drain abandons the requests still queued: their submitters
+// observe the error (core.Flush completes every queued future with
+// it), so leaving them in the ROB would only have a later drain serve
+// requests nobody is waiting on — and block PadToCycles.
 func (o *ORAM) Drain() error {
 	for len(o.rob) > 0 {
 		if err := o.cycle(); err != nil {
+			o.rob = o.rob[:0]
 			return err
 		}
 	}
 	return nil
+}
+
+// PadToCycles runs dummy scheduler cycles until the cumulative cycle
+// counter (Stats().Cycles) reaches target. A dummy cycle is an
+// ordinary cycle run with an empty ROB — one random prefetch load
+// overlapped with c dummy memory paths — so on the bus it is
+// indistinguishable from a cycle serving real requests, and it
+// consumes miss budget and triggers shuffles exactly like one.
+// internal/engine uses this to equalise per-shard cycle counts at
+// batch boundaries, closing the cross-shard traffic-volume channel.
+// The ROB must be empty: padding is defined between batches, not in
+// the middle of one. It returns the number of dummy cycles run.
+func (o *ORAM) PadToCycles(target int64) (int64, error) {
+	if len(o.rob) > 0 {
+		return 0, fmt.Errorf("horam: PadToCycles with %d requests still queued", len(o.rob))
+	}
+	var padded int64
+	for o.stats.Cycles < target {
+		if err := o.cycle(); err != nil {
+			return padded, err
+		}
+		padded++
+	}
+	return padded, nil
 }
 
 // cycle executes one scheduling group.

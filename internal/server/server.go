@@ -308,7 +308,13 @@ func (s *Server) batcher() {
 				end = len(reqs)
 			}
 			err = s.engine.Batch(reqs[off:end])
-			s.record(end - off)
+			// Count only successful windows, mirroring the engine's
+			// per-shard drain hooks (which skip failed drains) — so the
+			// per-shard request sums always reconcile with the window
+			// totals, even after faults.
+			if err == nil {
+				s.record(end - off)
+			}
 		}
 		for _, w := range waiters {
 			w.done <- err
@@ -481,7 +487,8 @@ func writeOpResponse(w *bufio.Writer, req *core.Request) {
 
 // statsLine renders the STATS response: aggregate engine counters,
 // the server's window-level batching counters, and one group of keys
-// per shard (queue depth, cycles, drains, drain-size histogram). The
+// per shard (queue depth, cycles, leveling pad cycles, drains,
+// drain-size histogram). The
 // shard_hist key is the element-wise aggregation of the per-shard
 // histograms, so consumers that only want the old single-histogram
 // view still get one — built from the per-shard truth.
@@ -495,9 +502,9 @@ func (s *Server) statsLine() string {
 		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch,
 		engine.FormatHist(ss.Histogram), engine.FormatHist(ss.ShardHistogram))
 	for _, sh := range ss.PerShard {
-		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
-			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.Batches,
-			sh.Shard, sh.Requests, sh.Shard, engine.FormatHist(sh.Hist))
+		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_pad=%d s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
+			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.PadCycles,
+			sh.Shard, sh.Batches, sh.Shard, sh.Requests, sh.Shard, engine.FormatHist(sh.Hist))
 	}
 	return b.String()
 }
