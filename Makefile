@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard fmt
+.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-persist persist-smoke fmt
 
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race bench-smoke persist-smoke
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server
+	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Durability acceptance gate: horamd -data-dir start -> write -> SIGTERM
+# -> restart -> read-back over real TCP and a real storage file.
+persist-smoke:
+	./scripts/persist_smoke.sh
 
 # Full benchmark run (slow) — the reproduction's headline numbers.
 bench:
@@ -34,6 +39,11 @@ bench:
 # aggregate throughput vs shard count through internal/engine.
 bench-shard:
 	$(GO) run ./cmd/horam-bench -exp shard -out BENCH_shard.json
+
+# Regenerate the committed persistence baseline (BENCH_persist.json):
+# file-backed storage device vs the in-memory simulator.
+bench-persist:
+	$(GO) run ./cmd/horam-bench -exp persist -out BENCH_persist.json
 
 fmt:
 	gofmt -w .

@@ -13,6 +13,16 @@
 //
 //	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4
 //
+// With -data-dir the store is durable: each shard's storage tier is a
+// preallocated file under the directory, control state is checkpointed
+// there (-checkpoint interval, plus a final save on SIGINT/SIGTERM),
+// and a restart with the same flags and key resumes serving every
+// previously written block. A missing or empty data directory starts
+// fresh; an existing snapshot is loaded on start.
+//
+//	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4 \
+//	       -data-dir /var/lib/horamd -checkpoint 1m -fsync 0
+//
 // Protocol (text, one request per line; see internal/server):
 //
 //	READ <addr>\n                -> OK <hex>\n | ERR <msg>\n
@@ -29,6 +39,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -47,21 +58,45 @@ func main() {
 	window := flag.Duration("batch-window", server.DefaultBatchWindow, "how long to collect concurrent requests into one scheduler batch")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max logical requests per scheduler batch")
 	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "max concurrent connections")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory simulation, nothing survives restart)")
+	checkpoint := flag.Duration("checkpoint", time.Minute, "periodic control-state checkpoint interval with -data-dir (0 disables; a final checkpoint always runs on shutdown)")
+	fsync := flag.Int("fsync", 0, "storage fsync policy with -data-dir: 0 = at shuffle/checkpoint boundaries only, 1 = every write, n = every n-th write")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
 	if err != nil {
 		log.Fatalf("horamd: bad -key: %v", err)
 	}
-	eng, err := engine.New(engine.Options{
+	opts := engine.Options{
 		Blocks:      *blocks,
 		BlockSize:   *blockSize,
 		MemoryBytes: *mem,
 		Key:         key,
 		Shards:      *shards,
-	})
-	if err != nil {
-		log.Fatalf("horamd: %v", err)
+		DataDir:     *dataDir,
+		FsyncEvery:  *fsync,
+	}
+
+	// Load-on-start: an existing manifest means a previous instance
+	// checkpointed here — resume it. Anything else starts fresh.
+	var eng *engine.Engine
+	if *dataDir != "" {
+		if _, statErr := os.Stat(filepath.Join(*dataDir, engine.ManifestFileName)); statErr == nil {
+			eng, err = engine.Restore(opts)
+			if err != nil {
+				log.Fatalf("horamd: restoring %s: %v (a fresh start needs an empty -data-dir)", *dataDir, err)
+			}
+			log.Printf("horamd: restored %s at epoch %d", *dataDir, eng.Epoch())
+		}
+	}
+	if eng == nil {
+		eng, err = engine.New(opts)
+		if err != nil {
+			log.Fatalf("horamd: %v", err)
+		}
+		if *dataDir != "" {
+			log.Printf("horamd: initialised fresh durable store in %s", *dataDir)
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -81,6 +116,32 @@ func main() {
 	log.Printf("horamd: serving %d x %d B blocks on %s (%d shards, batch window %v, max batch %d, max conns %d)",
 		*blocks, *blockSize, ln.Addr(), eng.Shards(), *window, *maxBatch, *maxConns)
 
+	// Periodic checkpoints keep the recoverable image fresh; a hard
+	// crash loses at most one interval of writes.
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		if *dataDir == "" || *checkpoint <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*checkpoint)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				start := time.Now()
+				if err := eng.SaveSnapshot(); err != nil {
+					log.Printf("horamd: checkpoint failed: %v", err)
+				} else {
+					log.Printf("horamd: checkpoint saved in %v", time.Since(start).Round(time.Millisecond))
+				}
+			case <-ckptStop:
+				return
+			}
+		}
+	}()
+
 	// SIGINT/SIGTERM drain in-flight requests before exiting.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -93,6 +154,19 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
+	close(ckptStop)
+	<-ckptDone
+
+	// Save-on-shutdown: the server is closed (no traffic), so this
+	// snapshot captures the final state and a restart loses nothing.
+	if *dataDir != "" {
+		if err := eng.SaveSnapshot(); err != nil {
+			log.Printf("horamd: final checkpoint failed: %v", err)
+		} else {
+			log.Printf("horamd: final checkpoint saved to %s", *dataDir)
+		}
+	}
+
 	st := srv.Stats()
 	sum := eng.Stats()
 	log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",

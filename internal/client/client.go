@@ -45,6 +45,13 @@ type Client struct {
 	pending    chan *call
 	readerDone chan struct{}
 
+	// quit is closed by Close BEFORE it takes mu, so a sender blocked
+	// on the bounded pending channel (stalled server, >cap in-flight
+	// calls) wakes up and releases the mutex instead of deadlocking
+	// Close against it.
+	quit      chan struct{}
+	closeOnce sync.Once
+
 	mu     sync.Mutex // serialises writes and pending-queue order
 	closed bool
 }
@@ -60,6 +67,7 @@ func Dial(addr string) (*Client, error) {
 		w:          bufio.NewWriter(conn),
 		pending:    make(chan *call, 128),
 		readerDone: make(chan struct{}),
+		quit:       make(chan struct{}),
 	}
 	go c.reader(bufio.NewReaderSize(conn, 64<<10))
 	return c, nil
@@ -116,12 +124,26 @@ func readLine(r *bufio.Reader) (string, error) {
 // the number of sub-responses expected after an "OK n" header, 0 for
 // single-line responses. The send mutex is released before waiting,
 // so concurrent callers pipeline.
+//
+// The enqueue onto the bounded pending channel can block when the
+// server has stalled with a full pipeline; selecting on quit keeps
+// Close able to interrupt the blocked sender (which holds the send
+// mutex Close needs). An interrupted call may leave its bytes on the
+// wire without a matching pending entry — which is only safe because
+// nothing can be written AFTER it: once quit is closed, every later
+// do aborts at the entry check below, before touching the wire, so
+// the reader can never mis-attribute a buffered response to a
+// subsequent request.
 func (c *Client) do(multi int, lines ...string) ([]string, error) {
 	pc := &call{multi: multi, ch: make(chan result, 1)}
 	c.mu.Lock()
-	if c.closed {
+	select {
+	case <-c.quit:
+		// Closing or closed (quit is closed strictly before c.closed
+		// is set): refuse before writing anything.
 		c.mu.Unlock()
 		return nil, ErrClosed
+	default:
 	}
 	for _, l := range lines {
 		c.w.WriteString(l)
@@ -131,7 +153,12 @@ func (c *Client) do(multi int, lines ...string) ([]string, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	c.pending <- pc
+	select {
+	case c.pending <- pc:
+	case <-c.quit:
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
 	c.mu.Unlock()
 	res := <-pc.ch
 	if res.err != nil {
@@ -142,7 +169,11 @@ func (c *Client) do(multi int, lines ...string) ([]string, error) {
 
 // Close sends QUIT (best effort), closes the connection and waits for
 // the reader to unwind. In-flight calls fail with a transport error.
+// Close always makes progress, even against a stalled server with a
+// full pipeline: it first closes quit — without holding the send
+// mutex — which unblocks any sender parked on the pending channel.
 func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.quit) })
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

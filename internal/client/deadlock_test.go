@@ -1,0 +1,105 @@
+// Regression test for the Close-vs-stalled-server deadlock: do used to
+// send on the bounded pending channel while holding the send mutex, so
+// with a hung server and more in-flight calls than the channel
+// capacity, the blocked sender held the mutex forever and Close —
+// waiting on the same mutex — could never run.
+package client
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startStalledServer accepts connections and reads (so client writes
+// never block on TCP backpressure) but never responds.
+func startStalledServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCloseAgainstStalledServer(t *testing.T) {
+	addr := startStalledServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strictly more in-flight calls than the pending channel holds, so
+	// at least one sender is parked on the channel send itself (holding
+	// the send mutex) and the rest queue behind the mutex.
+	inflight := cap(c.pending)*3/2 + 8
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Read(int64(i))
+		}(i)
+	}
+	// Let the callers pile up: the pipeline must be full and a sender
+	// blocked before Close runs, or the regression is not exercised.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.pending) < cap(c.pending) {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never filled: %d/%d", len(c.pending), cap(c.pending))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- c.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked against a stalled server with a full pipeline")
+	}
+
+	// Every in-flight call unwinds with an error — none hangs, none
+	// pretends to have succeeded.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight calls never unwound after Close")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("call %d reported success against a server that never responded", i)
+		}
+	}
+
+	// Close is idempotent afterwards, and new calls fail fast.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := c.Read(0); err != ErrClosed {
+		t.Fatalf("Read after Close = %v, want ErrClosed", err)
+	}
+}

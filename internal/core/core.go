@@ -63,6 +63,18 @@ type Options struct {
 	ShuffleRatio float64
 	// Stages overrides the scheduler's c schedule; nil = PaperStages.
 	Stages []horam.Stage
+	// DataDir enables the durable storage backend: the storage tier
+	// becomes a preallocated device.File at DataDir/storage.dat, a
+	// shuffle-generation marker is maintained at DataDir/storage.gen,
+	// and SaveSnapshot/Restore persist the control state at
+	// DataDir/state.snap. Open always REINITIALISES the storage file
+	// (and removes any stale state.snap); resuming a previous image
+	// goes through Restore. Empty keeps the in-memory simulator.
+	DataDir string
+	// FsyncEvery picks the storage file's fsync policy: 0 fsyncs only
+	// at consistency points (shuffle ends, snapshots), 1 after every
+	// write, n > 1 after every n-th write. Ignored without DataDir.
+	FsyncEvery int
 }
 
 // Client is an H-ORAM session. All methods are safe for concurrent
@@ -83,6 +95,11 @@ type Client struct {
 	blockSize int
 	blocks    int64
 
+	dataDir    string // "" = in-memory simulation, nothing persisted
+	epoch      uint64 // key-derivation boot generation (see persist.go)
+	checkpoint uint64 // SaveSnapshot calls over the instance's life
+	snapSealer blockcipher.Sealer
+
 	oramMu sync.Mutex // serialises all oram entries
 
 	mu        sync.Mutex // guards pending, futures, drainHook
@@ -91,46 +108,100 @@ type Client struct {
 	drainHook func(n int)
 }
 
-// Open validates the options and constructs the client.
-func Open(opts Options) (*Client, error) {
+// resolve fills defaults and validates the options.
+func resolve(opts Options) (Options, error) {
 	if opts.Blocks <= 0 {
-		return nil, fmt.Errorf("core: Blocks must be positive, got %d", opts.Blocks)
+		return opts, fmt.Errorf("core: Blocks must be positive, got %d", opts.Blocks)
 	}
 	if opts.BlockSize == 0 {
 		opts.BlockSize = DefaultBlockSize
 	}
 	if opts.BlockSize < 0 {
-		return nil, fmt.Errorf("core: negative BlockSize")
+		return opts, fmt.Errorf("core: negative BlockSize")
 	}
 	if opts.MemoryBytes <= 0 {
-		return nil, errors.New("core: MemoryBytes must be positive")
+		return opts, errors.New("core: MemoryBytes must be positive")
 	}
+	if opts.FsyncEvery < 0 {
+		return opts, fmt.Errorf("core: negative FsyncEvery")
+	}
+	if !opts.Insecure && len(opts.Key) != 32 {
+		return opts, fmt.Errorf("core: Key must be 32 bytes, got %d", len(opts.Key))
+	}
+	return opts, nil
+}
 
+// Open validates the options and constructs a fresh client. With
+// DataDir set, the durable storage file is (re)initialised from
+// scratch — resuming a persisted image goes through Restore.
+func Open(opts Options) (*Client, error) {
+	opts, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	c, cfg, err := prepare(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.clearStaleState(); err != nil {
+		return nil, err
+	}
+	c.oram, err = horam.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.markFreshLayout(); err != nil {
+		c.oram.CloseStorage()
+		return nil, err
+	}
+	return c, nil
+}
+
+// prepare derives the epoch-salted key material and builds the horam
+// configuration plus a client shell. Open uses epoch 0; Restore uses
+// the snapshot's epoch + 1 so no RNG or nonce stream replays (see the
+// epoch discussion in persist.go).
+func prepare(opts Options, epoch uint64) (*Client, horam.Config, error) {
 	seed := opts.Seed
-	var sealer blockcipher.Sealer
+	var sealer, snapSealer blockcipher.Sealer
 	if opts.Insecure {
 		sealer = blockcipher.NullSealer{}
+		snapSealer = blockcipher.NullSealer{}
 		if seed == "" {
 			seed = "core-insecure"
 		}
 	} else {
-		if len(opts.Key) != 32 {
-			return nil, fmt.Errorf("core: Key must be 32 bytes, got %d", len(opts.Key))
-		}
 		prf, err := blockcipher.NewPRF(opts.Key)
 		if err != nil {
-			return nil, err
+			return nil, horam.Config{}, err
 		}
 		if seed == "" {
 			seed = string(prf.Derive("client-seed", 32))
 		}
-		rng := blockcipher.NewRNG(prf.Derive("sealer-rng", 32))
+		// The sealing KEY is epoch-independent (pre-crash ciphertext
+		// must open after a restore); only the nonce stream is salted.
+		rng := blockcipher.NewRNG(prf.Derive(fmt.Sprintf("sealer-rng-epoch-%d", epoch), 32))
 		sealer, err = blockcipher.NewAESSealer(opts.Key, rng)
 		if err != nil {
-			return nil, err
+			return nil, horam.Config{}, err
+		}
+		snapRNG := blockcipher.NewRNG(prf.Derive(fmt.Sprintf("snapshot-nonce-epoch-%d", epoch), 32))
+		snapSealer, err = blockcipher.NewAESSealer(prf.Derive("snapshot-key", 32), snapRNG)
+		if err != nil {
+			return nil, horam.Config{}, err
 		}
 	}
+	if epoch > 0 {
+		seed = fmt.Sprintf("%s/epoch-%d", seed, epoch)
+	}
 
+	c := &Client{
+		blockSize:  opts.BlockSize,
+		blocks:     opts.Blocks,
+		dataDir:    opts.DataDir,
+		epoch:      epoch,
+		snapSealer: snapSealer,
+	}
 	cfg := horam.Config{
 		Blocks:       opts.Blocks,
 		BlockSize:    opts.BlockSize,
@@ -140,11 +211,12 @@ func Open(opts Options) (*Client, error) {
 		Sealer:       sealer,
 		RNG:          blockcipher.NewRNGFromString(seed),
 	}
-	o, err := horam.New(cfg)
-	if err != nil {
-		return nil, err
+	if opts.DataDir != "" {
+		if err := c.wireDurability(&cfg, opts.FsyncEvery); err != nil {
+			return nil, horam.Config{}, err
+		}
 	}
-	return &Client{oram: o, blockSize: opts.BlockSize, blocks: opts.Blocks}, nil
+	return c, cfg, nil
 }
 
 // BlockSize returns the client's block size in bytes.

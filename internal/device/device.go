@@ -95,6 +95,40 @@ type Device interface {
 // accessing goroutine.
 type Hook func(dev string, op Op, slot int64)
 
+// Backend is the full device contract the ORAM controllers in this
+// repository build on: a Device plus the raw setup paths, head and
+// counter controls, and the adversary hook Sim has always offered.
+// *Sim, *File and *Tiered all satisfy it, so any of them can back an
+// ORAM's storage tier.
+type Backend interface {
+	Device
+	// WriteRaw stores src without charging simulated time or counters
+	// (unmeasured experiment setup).
+	WriteRaw(slot int64, src []byte) error
+	// ReadRaw copies a slot's payload without charging simulated time
+	// or counters (snapshot capture, debugging).
+	ReadRaw(slot int64, dst []byte) error
+	// ResetHead forgets the head position so the next access is
+	// charged as random.
+	ResetHead()
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+	// SetHook installs fn to observe every access; nil removes it.
+	SetHook(fn Hook)
+}
+
+// Syncer is the optional durability contract: devices with a real
+// backing medium flush buffered writes to it. Sim has nothing to
+// flush; File fsyncs.
+type Syncer interface {
+	Sync() error
+}
+
+// Factory builds the storage-tier device for an ORAM instance. The
+// ORAM passes its latency profile, sealed-slot geometry and the
+// storage-tier clock; the factory decides the medium (Sim, File, ...).
+type Factory func(p Profile, slotSize int, slots int64, clk *simclock.Clock) (Backend, error)
+
 // Profile parameterises the latency model of a Sim.
 type Profile struct {
 	// Name labels the device class, e.g. "hdd".
@@ -133,92 +167,157 @@ func transferTime(n int, bw float64) time.Duration {
 	return time.Duration(float64(n) / bw * float64(time.Second))
 }
 
-// Sim is the simulated device. It is not safe for concurrent use; the
-// ORAM controllers serialise access to each device.
-type Sim struct {
+// meter is the accounting core shared by every latency-modelled device
+// in this package: slot geometry, head tracking, the profile's
+// streaming/positioning cost model, the traffic counters and the
+// adversary hook. Sim and File embed it, so their cost accounting is
+// one implementation and cannot drift apart — the property that makes
+// a Sim→File swap invisible to the paper's cost model.
+type meter struct {
 	profile  Profile
 	clock    *simclock.Clock
 	slotSize int
-	data     [][]byte
+	slots    int64
 	head     int64 // next slot a sequential access would hit; -1 initially
 	stats    Stats
 	hook     Hook
+}
+
+func newMeter(p Profile, slotSize int, slots int64, clock *simclock.Clock) (meter, error) {
+	if err := p.validate(); err != nil {
+		return meter{}, err
+	}
+	if slotSize <= 0 {
+		return meter{}, fmt.Errorf("device: slot size must be positive, got %d", slotSize)
+	}
+	if slots <= 0 {
+		return meter{}, fmt.Errorf("device: slot count must be positive, got %d", slots)
+	}
+	if clock == nil {
+		return meter{}, fmt.Errorf("device: nil clock")
+	}
+	return meter{profile: p, clock: clock, slotSize: slotSize, slots: slots, head: -1}, nil
+}
+
+// Name implements Device.
+func (m *meter) Name() string { return m.profile.Name }
+
+// SlotSize implements Device.
+func (m *meter) SlotSize() int { return m.slotSize }
+
+// Slots implements Device.
+func (m *meter) Slots() int64 { return m.slots }
+
+// Profile returns the latency profile the device was built with.
+func (m *meter) Profile() Profile { return m.profile }
+
+// SetHook installs fn to observe every access; a nil fn removes the
+// hook.
+func (m *meter) SetHook(fn Hook) { m.hook = fn }
+
+// Stats implements Device.
+func (m *meter) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (the stored data is untouched).
+func (m *meter) ResetStats() { m.stats = Stats{} }
+
+// ResetHead forgets the current head position so that the next access
+// is charged as random. ORAM controllers call this between logical
+// phases whose accesses should not accidentally coalesce.
+func (m *meter) ResetHead() { m.head = -1 }
+
+// sequential reports whether an access at slot continues the current
+// streaming run, and advances the head.
+func (m *meter) sequential(slot int64) bool {
+	seq := m.head >= 0 && slot >= m.head && slot < m.head+m.profile.SeqWindow
+	m.head = slot + 1
+	return seq
+}
+
+func (m *meter) checkSlot(slot int64) error {
+	if slot < 0 || slot >= m.slots {
+		return fmt.Errorf("device %s: slot %d out of range [0,%d)", m.profile.Name, slot, m.slots)
+	}
+	return nil
+}
+
+func (m *meter) checkReadBuf(dst []byte, raw bool) error {
+	if len(dst) < m.slotSize {
+		kind := "read buffer"
+		if raw {
+			kind = "raw read buffer"
+		}
+		return fmt.Errorf("device %s: %s %d < slot size %d", m.profile.Name, kind, len(dst), m.slotSize)
+	}
+	return nil
+}
+
+func (m *meter) checkWritePayload(src []byte, raw bool) error {
+	if len(src) != m.slotSize {
+		kind := "write payload"
+		if raw {
+			kind = "raw write payload"
+		}
+		return fmt.Errorf("device %s: %s %d != slot size %d", m.profile.Name, kind, len(src), m.slotSize)
+	}
+	return nil
+}
+
+// chargeRead bills one slot read to the clock and counters.
+func (m *meter) chargeRead(slot int64) {
+	lat := transferTime(m.slotSize, m.profile.ReadBandwidth)
+	if m.sequential(slot) {
+		m.stats.SeqReads++
+	} else {
+		lat += m.profile.RandomReadPenalty
+	}
+	m.clock.Advance(lat)
+	m.stats.Reads++
+	m.stats.BytesRead += int64(m.slotSize)
+	m.stats.Busy += lat
+}
+
+// chargeWrite bills one slot write to the clock and counters.
+func (m *meter) chargeWrite(slot int64) {
+	lat := transferTime(m.slotSize, m.profile.WriteBandwidth)
+	if m.sequential(slot) {
+		m.stats.SeqWrites++
+	} else {
+		lat += m.profile.RandomWritePenalty
+	}
+	m.clock.Advance(lat)
+	m.stats.Writes++
+	m.stats.BytesWritten += int64(m.slotSize)
+	m.stats.Busy += lat
+}
+
+// observe dispatches the adversary hook.
+func (m *meter) observe(op Op, slot int64) {
+	if m.hook != nil {
+		m.hook(m.profile.Name, op, slot)
+	}
+}
+
+// Sim is the simulated device. It is not safe for concurrent use; the
+// ORAM controllers serialise access to each device.
+type Sim struct {
+	meter
+	data [][]byte
 }
 
 // New constructs a simulated device with the given profile, slot
 // geometry and shared clock. All slots start zero-filled (allocated
 // lazily on first write, so huge devices are cheap until touched).
 func New(p Profile, slotSize int, slots int64, clock *simclock.Clock) (*Sim, error) {
-	if err := p.validate(); err != nil {
+	m, err := newMeter(p, slotSize, slots, clock)
+	if err != nil {
 		return nil, err
 	}
-	if slotSize <= 0 {
-		return nil, fmt.Errorf("device: slot size must be positive, got %d", slotSize)
-	}
-	if slots <= 0 {
-		return nil, fmt.Errorf("device: slot count must be positive, got %d", slots)
-	}
-	if clock == nil {
-		return nil, fmt.Errorf("device: nil clock")
-	}
-	return &Sim{
-		profile:  p,
-		clock:    clock,
-		slotSize: slotSize,
-		data:     make([][]byte, slots),
-		head:     -1,
-	}, nil
+	return &Sim{meter: m, data: make([][]byte, slots)}, nil
 }
 
-// Name implements Device.
-func (s *Sim) Name() string { return s.profile.Name }
-
-// SlotSize implements Device.
-func (s *Sim) SlotSize() int { return s.slotSize }
-
-// Slots implements Device.
-func (s *Sim) Slots() int64 { return int64(len(s.data)) }
-
-// Profile returns the latency profile the device was built with.
-func (s *Sim) Profile() Profile { return s.profile }
-
-// SetHook installs fn to observe every access; a nil fn removes the
-// hook.
-func (s *Sim) SetHook(fn Hook) { s.hook = fn }
-
-// sequential reports whether an access at slot continues the current
-// streaming run, and advances the head.
-func (s *Sim) sequential(slot int64) bool {
-	seq := s.head >= 0 && slot >= s.head && slot < s.head+s.profile.SeqWindow
-	s.head = slot + 1
-	return seq
-}
-
-func (s *Sim) checkSlot(slot int64) error {
-	if slot < 0 || slot >= int64(len(s.data)) {
-		return fmt.Errorf("device %s: slot %d out of range [0,%d)", s.profile.Name, slot, len(s.data))
-	}
-	return nil
-}
-
-// Read implements Device.
-func (s *Sim) Read(slot int64, dst []byte) error {
-	if err := s.checkSlot(slot); err != nil {
-		return err
-	}
-	if len(dst) < s.slotSize {
-		return fmt.Errorf("device %s: read buffer %d < slot size %d", s.profile.Name, len(dst), s.slotSize)
-	}
-	lat := transferTime(s.slotSize, s.profile.ReadBandwidth)
-	if s.sequential(slot) {
-		s.stats.SeqReads++
-	} else {
-		lat += s.profile.RandomReadPenalty
-	}
-	s.clock.Advance(lat)
-	s.stats.Reads++
-	s.stats.BytesRead += int64(s.slotSize)
-	s.stats.Busy += lat
+// copyOut copies slot's payload (zeros if never written) into dst.
+func (s *Sim) copyOut(slot int64, dst []byte) {
 	if s.data[slot] == nil {
 		for i := 0; i < s.slotSize; i++ {
 			dst[i] = 0
@@ -226,9 +325,27 @@ func (s *Sim) Read(slot int64, dst []byte) error {
 	} else {
 		copy(dst, s.data[slot])
 	}
-	if s.hook != nil {
-		s.hook(s.profile.Name, OpRead, slot)
+}
+
+// copyIn stores src into slot, allocating it on first touch.
+func (s *Sim) copyIn(slot int64, src []byte) {
+	if s.data[slot] == nil {
+		s.data[slot] = make([]byte, s.slotSize)
 	}
+	copy(s.data[slot], src)
+}
+
+// Read implements Device.
+func (s *Sim) Read(slot int64, dst []byte) error {
+	if err := s.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := s.checkReadBuf(dst, false); err != nil {
+		return err
+	}
+	s.chargeRead(slot)
+	s.copyOut(slot, dst)
+	s.observe(OpRead, slot)
 	return nil
 }
 
@@ -237,26 +354,12 @@ func (s *Sim) Write(slot int64, src []byte) error {
 	if err := s.checkSlot(slot); err != nil {
 		return err
 	}
-	if len(src) != s.slotSize {
-		return fmt.Errorf("device %s: write payload %d != slot size %d", s.profile.Name, len(src), s.slotSize)
+	if err := s.checkWritePayload(src, false); err != nil {
+		return err
 	}
-	lat := transferTime(s.slotSize, s.profile.WriteBandwidth)
-	if s.sequential(slot) {
-		s.stats.SeqWrites++
-	} else {
-		lat += s.profile.RandomWritePenalty
-	}
-	s.clock.Advance(lat)
-	s.stats.Writes++
-	s.stats.BytesWritten += int64(s.slotSize)
-	s.stats.Busy += lat
-	if s.data[slot] == nil {
-		s.data[slot] = make([]byte, s.slotSize)
-	}
-	copy(s.data[slot], src)
-	if s.hook != nil {
-		s.hook(s.profile.Name, OpWrite, slot)
-	}
+	s.chargeWrite(slot)
+	s.copyIn(slot, src)
+	s.observe(OpWrite, slot)
 	return nil
 }
 
@@ -267,23 +370,23 @@ func (s *Sim) WriteRaw(slot int64, src []byte) error {
 	if err := s.checkSlot(slot); err != nil {
 		return err
 	}
-	if len(src) != s.slotSize {
-		return fmt.Errorf("device %s: raw write payload %d != slot size %d", s.profile.Name, len(src), s.slotSize)
+	if err := s.checkWritePayload(src, true); err != nil {
+		return err
 	}
-	if s.data[slot] == nil {
-		s.data[slot] = make([]byte, s.slotSize)
-	}
-	copy(s.data[slot], src)
+	s.copyIn(slot, src)
 	return nil
 }
 
-// Stats implements Device.
-func (s *Sim) Stats() Stats { return s.stats }
-
-// ResetStats zeroes the counters (the stored data is untouched).
-func (s *Sim) ResetStats() { s.stats = Stats{} }
-
-// ResetHead forgets the current head position so that the next access
-// is charged as random. ORAM controllers call this between logical
-// phases whose accesses should not accidentally coalesce.
-func (s *Sim) ResetHead() { s.head = -1 }
+// ReadRaw copies slot's payload into dst without charging simulated
+// time or touching the counters — the mirror of WriteRaw, used by the
+// snapshot subsystem to capture device contents.
+func (s *Sim) ReadRaw(slot int64, dst []byte) error {
+	if err := s.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := s.checkReadBuf(dst, true); err != nil {
+		return err
+	}
+	s.copyOut(slot, dst)
+	return nil
+}

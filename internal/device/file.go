@@ -1,0 +1,201 @@
+package device
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/simclock"
+)
+
+// File is a durable slot store over a preallocated on-disk file: slot
+// i occupies bytes [i·SlotSize, (i+1)·SlotSize). It embeds the same
+// accounting meter as Sim — head-position tracking and the
+// profile-driven virtual-time charging are one shared implementation —
+// so an ORAM swapped from Sim to File keeps identical
+// sequential-vs-random accounting and Stats, while the payload
+// additionally survives process restarts.
+//
+// Like Sim, File is not safe for concurrent use; the ORAM controllers
+// serialise device access.
+//
+// Durability: writes go straight to the file via pwrite. FsyncEvery
+// picks the fsync policy; independent of it, Sync flushes explicitly —
+// the snapshot subsystem calls it at shuffle and checkpoint
+// boundaries so the on-disk image is durable before a state marker
+// declares it so.
+type File struct {
+	meter
+	f    *os.File
+	path string
+
+	fsyncEvery int
+	unsynced   int   // timed writes since the last fsync
+	syncs      int64 // fsyncs issued (policy + explicit)
+}
+
+// FileConfig parameterises a File device.
+type FileConfig struct {
+	// Path is the backing file. A missing file is created and
+	// preallocated; an existing file must match the slot geometry
+	// exactly (its contents are kept — that is the durability story).
+	Path string
+	// Profile is the latency model charged to Clock, exactly as Sim
+	// charges it, so simulated accounting survives the Sim→File swap.
+	Profile Profile
+	// SlotSize and Slots fix the geometry.
+	SlotSize int
+	Slots    int64
+	// Clock receives the simulated access cost; required.
+	Clock *simclock.Clock
+	// FsyncEvery selects the fsync policy for timed writes: 0 never
+	// fsyncs implicitly (callers Sync at consistency points), 1 fsyncs
+	// after every write, n > 1 after every n-th write.
+	FsyncEvery int
+}
+
+// NewFile opens (or creates and preallocates) the backing file and
+// returns the device. Unwritten slots read as zeros.
+func NewFile(cfg FileConfig) (*File, error) {
+	m, err := newMeter(cfg.Profile, cfg.SlotSize, cfg.Slots, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FsyncEvery < 0 {
+		return nil, fmt.Errorf("device: FsyncEvery must be non-negative, got %d", cfg.FsyncEvery)
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	want := int64(cfg.SlotSize) * cfg.Slots
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	if st.Size() != 0 && st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("device: %s is %d bytes; geometry %d x %d needs %d (refusing to reuse a file with different geometry)",
+			cfg.Path, st.Size(), cfg.Slots, cfg.SlotSize, want)
+	}
+	if st.Size() != want {
+		if err := f.Truncate(want); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("device: preallocate %s: %w", cfg.Path, err)
+		}
+	}
+	return &File{
+		meter:      m,
+		f:          f,
+		path:       cfg.Path,
+		fsyncEvery: cfg.FsyncEvery,
+	}, nil
+}
+
+// Path returns the backing file path.
+func (d *File) Path() string { return d.path }
+
+func (d *File) off(slot int64) int64 { return slot * int64(d.slotSize) }
+
+func (d *File) pread(slot int64, dst []byte) error {
+	if _, err := d.f.ReadAt(dst[:d.slotSize], d.off(slot)); err != nil {
+		return fmt.Errorf("device %s: pread slot %d: %w", d.profile.Name, slot, err)
+	}
+	return nil
+}
+
+func (d *File) pwrite(slot int64, src []byte) error {
+	if _, err := d.f.WriteAt(src, d.off(slot)); err != nil {
+		return fmt.Errorf("device %s: pwrite slot %d: %w", d.profile.Name, slot, err)
+	}
+	return nil
+}
+
+// Read implements Device.
+func (d *File) Read(slot int64, dst []byte) error {
+	if err := d.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := d.checkReadBuf(dst, false); err != nil {
+		return err
+	}
+	d.chargeRead(slot)
+	if err := d.pread(slot, dst); err != nil {
+		return err
+	}
+	d.observe(OpRead, slot)
+	return nil
+}
+
+// Write implements Device.
+func (d *File) Write(slot int64, src []byte) error {
+	if err := d.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := d.checkWritePayload(src, false); err != nil {
+		return err
+	}
+	d.chargeWrite(slot)
+	if err := d.pwrite(slot, src); err != nil {
+		return err
+	}
+	if d.fsyncEvery > 0 {
+		d.unsynced++
+		if d.unsynced >= d.fsyncEvery {
+			if err := d.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	d.observe(OpWrite, slot)
+	return nil
+}
+
+// WriteRaw stores src into slot without charging simulated time or
+// touching the counters (unmeasured setup). The fsync policy does not
+// apply; setup callers Sync once at the end.
+func (d *File) WriteRaw(slot int64, src []byte) error {
+	if err := d.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := d.checkWritePayload(src, true); err != nil {
+		return err
+	}
+	return d.pwrite(slot, src)
+}
+
+// ReadRaw copies slot's payload into dst without charging simulated
+// time or touching the counters.
+func (d *File) ReadRaw(slot int64, dst []byte) error {
+	if err := d.checkSlot(slot); err != nil {
+		return err
+	}
+	if err := d.checkReadBuf(dst, true); err != nil {
+		return err
+	}
+	return d.pread(slot, dst)
+}
+
+// Sync flushes buffered writes to the medium (fsync).
+func (d *File) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("device %s: fsync %s: %w", d.profile.Name, d.path, err)
+	}
+	d.unsynced = 0
+	d.syncs++
+	return nil
+}
+
+// Syncs returns the number of fsyncs issued (policy-driven and
+// explicit).
+func (d *File) Syncs() int64 { return d.syncs }
+
+// Close syncs and closes the backing file. The device is unusable
+// afterwards.
+func (d *File) Close() error {
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return fmt.Errorf("device %s: fsync %s: %w", d.profile.Name, d.path, err)
+	}
+	return d.f.Close()
+}

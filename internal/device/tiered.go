@@ -88,5 +88,70 @@ func (t *Tiered) WriteRaw(slot int64, src []byte) error {
 	return dev.Write(slot, src)
 }
 
+// ReadRaw forwards uncharged reads to the owning tier's raw path when
+// it has one, falling back to a timed read otherwise.
+func (t *Tiered) ReadRaw(slot int64, dst []byte) error {
+	dev := t.fast
+	if slot >= t.boundary {
+		dev = t.slow
+		slot -= t.boundary
+	}
+	if rr, ok := dev.(interface {
+		ReadRaw(int64, []byte) error
+	}); ok {
+		return rr.ReadRaw(slot, dst)
+	}
+	return dev.Read(slot, dst)
+}
+
+// ResetHead forgets the head position on both tiers (when they track
+// one), so the next access to either is charged as random.
+func (t *Tiered) ResetHead() {
+	for _, dev := range []Device{t.fast, t.slow} {
+		if rh, ok := dev.(interface{ ResetHead() }); ok {
+			rh.ResetHead()
+		}
+	}
+}
+
+// ResetStats zeroes the counters of both tiers (when they support it).
+func (t *Tiered) ResetStats() {
+	for _, dev := range []Device{t.fast, t.slow} {
+		if rs, ok := dev.(interface{ ResetStats() }); ok {
+			rs.ResetStats()
+		}
+	}
+}
+
+// SetHook installs fn on both tiers (when they support hooks), so the
+// composite reports every access like a single device would.
+func (t *Tiered) SetHook(fn Hook) {
+	for _, dev := range []Device{t.fast, t.slow} {
+		if sh, ok := dev.(interface{ SetHook(Hook) }); ok {
+			sh.SetHook(fn)
+		}
+	}
+}
+
+// Sync flushes both tiers' durable media (when they have one).
+func (t *Tiered) Sync() error {
+	for _, dev := range []Device{t.fast, t.slow} {
+		if s, ok := dev.(Syncer); ok {
+			if err := s.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Stats implements Device by summing both tiers.
 func (t *Tiered) Stats() Stats { return t.fast.Stats().Add(t.slow.Stats()) }
+
+// Compile-time Backend conformance for every device in this package.
+var (
+	_ Backend = (*Sim)(nil)
+	_ Backend = (*File)(nil)
+	_ Backend = (*Tiered)(nil)
+	_ Syncer  = (*File)(nil)
+)

@@ -1,0 +1,128 @@
+// Regression tests for Batch's partial-scatter path: an Enqueue
+// failure mid-scatter must leave un-issued requests' Result fields
+// untouched, complete everything already enqueued, and still level
+// shard cycle counts afterwards.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var errInjected = errors.New("injected scatter fault")
+
+func TestBatchPartialScatter(t *testing.T) {
+	e, err := New(Options{
+		Blocks:      256,
+		BlockSize:   32,
+		MemoryBytes: 4 << 10,
+		Insecure:    true,
+		Seed:        "partial-scatter",
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Writes before the fault land; everything from the fault on is
+	// never issued.
+	const total, faultAt = 12, 7
+	e.scatterFault = func(i int, r *Request) error {
+		if i == faultAt {
+			return errInjected
+		}
+		return nil
+	}
+	sentinel := []byte("UNTOUCHED-SENTINEL")
+	reqs := make([]*Request, total)
+	for i := range reqs {
+		reqs[i] = &Request{
+			Op:     OpWrite,
+			Addr:   int64(i),
+			Data:   bytes.Repeat([]byte{byte(i + 1)}, 32),
+			Result: sentinel, // must survive for un-issued requests
+		}
+	}
+	err = e.Batch(reqs)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Batch err = %v, want the injected fault", err)
+	}
+
+	// Issued requests completed: a write's Result is the previous
+	// contents (zeros here), not the sentinel. Un-issued requests keep
+	// their Result exactly as the caller left it.
+	for i, r := range reqs {
+		issued := i < faultAt
+		if issued && bytes.Equal(r.Result, sentinel) {
+			t.Errorf("request %d was issued but its Result was never filled", i)
+		}
+		if !issued && !bytes.Equal(r.Result, sentinel) {
+			t.Errorf("request %d was never issued but its Result was overwritten to %q", i, r.Result)
+		}
+	}
+
+	// The "never strand what is already enqueued" path must leave the
+	// engine leveled even after the partial batch.
+	ss := e.ShardStats()
+	for _, sh := range ss[1:] {
+		if sh.Cycles != ss[0].Cycles {
+			t.Fatalf("shard cycle counts unlevel after partial batch: %d vs %d", sh.Cycles, ss[0].Cycles)
+		}
+	}
+
+	// And the engine keeps serving: issued writes took effect,
+	// un-issued ones did not.
+	e.scatterFault = nil
+	for i := 0; i < total; i++ {
+		got, err := e.Read(int64(i))
+		if err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+		want := make([]byte, 32)
+		if i < faultAt {
+			want = bytes.Repeat([]byte{byte(i + 1)}, 32)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d = %x, want %x (issued=%v)", i, got[:2], want[:2], i < faultAt)
+		}
+	}
+}
+
+// TestBatchPartialScatterFirstRequest faults at index 0: nothing is
+// issued, nothing is kicked, no Result is touched.
+func TestBatchPartialScatterFirstRequest(t *testing.T) {
+	e, err := New(Options{
+		Blocks:      64,
+		BlockSize:   32,
+		MemoryBytes: 2 << 10,
+		Insecure:    true,
+		Seed:        "partial-scatter-0",
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	e.scatterFault = func(i int, r *Request) error { return fmt.Errorf("%w at %d", errInjected, i) }
+	sentinel := []byte("S")
+	reqs := []*Request{
+		{Op: OpRead, Addr: 1, Result: sentinel},
+		{Op: OpRead, Addr: 2, Result: sentinel},
+	}
+	if err := e.Batch(reqs); !errors.Is(err, errInjected) {
+		t.Fatalf("Batch err = %v, want the injected fault", err)
+	}
+	for i, r := range reqs {
+		if !bytes.Equal(r.Result, sentinel) {
+			t.Errorf("request %d Result overwritten to %q", i, r.Result)
+		}
+	}
+	e.scatterFault = nil
+	if _, err := e.Read(1); err != nil {
+		t.Fatalf("engine unusable after faulted batch: %v", err)
+	}
+}

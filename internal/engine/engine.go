@@ -61,12 +61,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/blockcipher"
 	"repro/internal/core"
 	"repro/internal/horam"
+	"repro/internal/snapshot"
 )
 
 // MaxShards bounds the shard count; one goroutine and one simulated
@@ -101,6 +103,16 @@ type Options struct {
 	// ShuffleRatio and Stages pass through to every shard.
 	ShuffleRatio float64
 	Stages       []horam.Stage
+	// DataDir enables the durable storage backend: shard i keeps its
+	// storage file, generation marker and control snapshot under
+	// DataDir/shard-<i>/, and SaveSnapshot maintains the engine
+	// manifest at DataDir/engine.snap. New always REINITIALISES the
+	// layout; resuming a previous image goes through Restore. Empty
+	// keeps the in-memory simulators.
+	DataDir string
+	// FsyncEvery is the per-shard storage fsync policy (see
+	// core.Options.FsyncEvery). Ignored without DataDir.
+	FsyncEvery int
 }
 
 // shard is one H-ORAM instance plus its scheduler goroutine. The
@@ -154,9 +166,25 @@ type Engine struct {
 	shardOf   []int32 // global address -> shard index
 	local     []int64 // global address -> shard-local address
 
+	// Persistence wiring (zero-valued for pure simulations).
+	dataDir   string
+	manifest  snapshot.Manifest  // geometry echo written at each SaveSnapshot
+	manSealer blockcipher.Sealer // seals the manifest container payload
+
+	// pause quiesces the engine: every Batch holds it read-locked for
+	// its whole lifetime (scatter, gather, level), so SaveSnapshot's
+	// write lock waits for in-flight batches and blocks new ones while
+	// the image is taken.
+	pause sync.RWMutex
+
 	mu       sync.Mutex
 	closed   bool
 	inflight sync.WaitGroup
+
+	// scatterFault, when set, is consulted before each Enqueue during
+	// Batch's scatter phase. Tests inject mid-scatter failures with it;
+	// nil in production (core.Enqueue cannot fail after validate).
+	scatterFault func(i int, r *Request) error
 }
 
 // Request and Op mirror the core types; engine callers need not import
@@ -169,11 +197,10 @@ const (
 	OpWrite = core.OpWrite
 )
 
-// New validates the options, PRF-partitions the address space, builds
-// the S shard instances and starts their scheduler goroutines.
-func New(opts Options) (*Engine, error) {
+// resolveOptions fills defaults and validates.
+func resolveOptions(opts Options) (Options, error) {
 	if opts.Blocks <= 0 {
-		return nil, fmt.Errorf("engine: Blocks must be positive, got %d", opts.Blocks)
+		return opts, fmt.Errorf("engine: Blocks must be positive, got %d", opts.Blocks)
 	}
 	if opts.BlockSize == 0 {
 		opts.BlockSize = core.DefaultBlockSize
@@ -182,16 +209,36 @@ func New(opts Options) (*Engine, error) {
 		opts.Shards = 1
 	}
 	if opts.Shards < 1 || opts.Shards > MaxShards {
-		return nil, fmt.Errorf("engine: Shards %d out of [1,%d]", opts.Shards, MaxShards)
+		return opts, fmt.Errorf("engine: Shards %d out of [1,%d]", opts.Shards, MaxShards)
 	}
 	if int64(opts.Shards) > opts.Blocks {
-		return nil, fmt.Errorf("engine: %d shards for %d blocks; every shard needs at least one block", opts.Shards, opts.Blocks)
+		return opts, fmt.Errorf("engine: %d shards for %d blocks; every shard needs at least one block", opts.Shards, opts.Blocks)
 	}
-	memPerShard := opts.MemoryBytes / int64(opts.Shards)
-	if memPerShard <= 0 {
-		return nil, fmt.Errorf("engine: MemoryBytes %d too small for %d shards", opts.MemoryBytes, opts.Shards)
+	if opts.MemoryBytes/int64(opts.Shards) <= 0 {
+		return opts, fmt.Errorf("engine: MemoryBytes %d too small for %d shards", opts.MemoryBytes, opts.Shards)
 	}
+	if !opts.Insecure && len(opts.Key) != 32 {
+		return opts, fmt.Errorf("engine: Key must be 32 bytes, got %d", len(opts.Key))
+	}
+	return opts, nil
+}
 
+// New validates the options, PRF-partitions the address space, builds
+// the S shard instances and starts their scheduler goroutines. With
+// DataDir set the durable layout is reinitialised from scratch;
+// resuming a persisted image goes through Restore.
+func New(opts Options) (*Engine, error) {
+	opts, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(opts, false)
+}
+
+// assemble builds the engine from resolved options; restoring selects
+// core.Restore (resume each shard from its snapshot) over core.Open
+// (fresh layout).
+func assemble(opts Options, restoring bool) (*Engine, error) {
 	// Per-shard key material. With a real key, shard keys are PRF
 	// derivations of the master key, so every shard gets an independent
 	// sealer nonce stream and independent randomness — sharing the raw
@@ -204,9 +251,6 @@ func New(opts Options) (*Engine, error) {
 			seed = "engine-insecure"
 		}
 	} else {
-		if len(opts.Key) != 32 {
-			return nil, fmt.Errorf("engine: Key must be 32 bytes, got %d", len(opts.Key))
-		}
 		var err error
 		prf, err = blockcipher.NewPRF(opts.Key)
 		if err != nil {
@@ -221,12 +265,23 @@ func New(opts Options) (*Engine, error) {
 	// address space round-robin into the shards. Balanced to within one
 	// block, and the address->shard map is secret (derived from the
 	// key/seed), never from address arithmetic an adversary could
-	// correlate with workload structure.
+	// correlate with workload structure. The partition derives from the
+	// epoch-INDEPENDENT base seed: it must come out identical on every
+	// restore or the shard-local address spaces would scramble.
 	e := &Engine{
 		blocks:    opts.Blocks,
 		blockSize: opts.BlockSize,
+		dataDir:   opts.DataDir,
 		shardOf:   make([]int32, opts.Blocks),
 		local:     make([]int64, opts.Blocks),
+	}
+	if opts.DataDir != "" && !restoring {
+		// A fresh engine reinitialises every shard layout; a manifest
+		// from a previous instance must not survive to steer a later
+		// load-on-start probe into restoring over it.
+		if err := os.Remove(manifestPath(opts.DataDir)); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 	}
 	partRNG := blockcipher.NewRNGFromString(seed + "/engine-partition")
 	perm := partRNG.Perm(int(opts.Blocks))
@@ -238,27 +293,66 @@ func New(opts Options) (*Engine, error) {
 		counts[s]++
 	}
 
+	memPerShard := opts.MemoryBytes / int64(opts.Shards)
+	shardOpts := make([]core.Options, opts.Shards)
 	for s := 0; s < opts.Shards; s++ {
-		shardOpts := core.Options{
+		shardOpts[s] = core.Options{
 			Blocks:       counts[s],
 			BlockSize:    opts.BlockSize,
 			MemoryBytes:  memPerShard,
 			Insecure:     opts.Insecure,
 			ShuffleRatio: opts.ShuffleRatio,
 			Stages:       opts.Stages,
+			FsyncEvery:   opts.FsyncEvery,
+		}
+		if opts.DataDir != "" {
+			shardOpts[s].DataDir = shardDir(opts.DataDir, s)
 		}
 		if opts.Insecure {
-			shardOpts.Seed = fmt.Sprintf("%s/shard-%d", seed, s)
+			shardOpts[s].Seed = fmt.Sprintf("%s/shard-%d", seed, s)
 		} else {
-			shardOpts.Key = prf.Derive(fmt.Sprintf("engine-shard-key-%d", s), 32)
+			shardOpts[s].Key = prf.Derive(fmt.Sprintf("engine-shard-key-%d", s), 32)
 		}
-		client, err := core.Open(shardOpts)
+	}
+
+	// Restores must land every shard on ONE consistent checkpoint cut
+	// with ONE fresh boot epoch, even when a crash interrupted a
+	// previous checkpoint or restore loop and left the per-shard
+	// snapshots staggered: the cut is the newest checkpoint every shard
+	// still has (current or rotated-previous copy), and the epoch is
+	// one past the highest any shard has ever used, so no shard can
+	// replay a nonce/RNG stream.
+	var targetCkpt, targetEpoch uint64
+	if restoring {
+		for s := 0; s < opts.Shards; s++ {
+			epoch, ckpt, err := core.Peek(shardOpts[s])
+			if err != nil {
+				return nil, fmt.Errorf("engine: shard %d: %w", s, err)
+			}
+			if s == 0 || ckpt < targetCkpt {
+				targetCkpt = ckpt
+			}
+			if epoch >= targetEpoch {
+				targetEpoch = epoch + 1
+			}
+		}
+	}
+
+	for s := 0; s < opts.Shards; s++ {
+		var client *core.Client
+		var err error
+		if restoring {
+			client, err = core.RestoreCheckpoint(shardOpts[s], targetCkpt, targetEpoch)
+		} else {
+			client, err = core.Open(shardOpts[s])
+		}
 		if err != nil {
 			// Unwind the shards already running, or their goroutines
 			// leak on every failed construction attempt.
 			for _, sh := range e.shards {
 				close(sh.kick)
 				<-sh.done
+				sh.client.Close()
 			}
 			return nil, fmt.Errorf("engine: shard %d: %w", s, err)
 		}
@@ -271,6 +365,10 @@ func New(opts Options) (*Engine, error) {
 		client.SetDrainHook(sh.recordDrain)
 		go sh.run()
 		e.shards = append(e.shards, sh)
+	}
+	if err := e.wireManifest(opts, prf); err != nil {
+		e.Close()
+		return nil, err
 	}
 	return e, nil
 }
@@ -334,6 +432,10 @@ func (e *Engine) Batch(reqs []*Request) error {
 			return err
 		}
 	}
+	// Held read-locked for the whole batch (scatter, gather, level):
+	// SaveSnapshot write-locks it to quiesce the engine.
+	e.pause.RLock()
+	defer e.pause.RUnlock()
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -352,11 +454,20 @@ func (e *Engine) Batch(reqs []*Request) error {
 	for i, r := range reqs {
 		sh := e.shards[e.shardOf[r.Addr]]
 		shadows[i] = &Request{Op: r.Op, Addr: e.local[r.Addr], Data: r.Data, User: r.User}
-		f, err := sh.client.Enqueue(shadows[i])
+		err := error(nil)
+		if e.scatterFault != nil {
+			err = e.scatterFault(i, r)
+		}
+		var f *core.Future
+		if err == nil {
+			f, err = sh.client.Enqueue(shadows[i])
+		}
 		if err != nil {
 			// Cannot happen after validate (shard-local geometry is a
 			// projection of the global one) — but never strand what is
-			// already enqueued.
+			// already enqueued: requests before i stay issued and are
+			// gathered below, requests from i on are never issued and
+			// their futures stay nil.
 			firstErr = fmt.Errorf("engine: shard %d: %w", sh.id, err)
 			break
 		}
@@ -371,7 +482,10 @@ func (e *Engine) Batch(reqs []*Request) error {
 	}
 
 	// Gather: wait for every issued future, then copy results back in
-	// submission order.
+	// submission order. Un-issued requests (nil future after a partial
+	// scatter) are skipped entirely: their Result fields must stay
+	// exactly as the caller left them, so a caller can distinguish
+	// "executed" from "never issued" after a failed batch.
 	for i, f := range futures {
 		if f == nil {
 			continue
@@ -453,9 +567,11 @@ func (e *Engine) Write(addr int64, data []byte) error {
 	return e.Batch([]*Request{{Op: OpWrite, Addr: addr, Data: data}})
 }
 
-// Close waits for in-flight batches and stops the shard scheduler
-// goroutines. Batch calls after Close return ErrClosed. Safe to call
-// more than once.
+// Close waits for in-flight batches, stops the shard scheduler
+// goroutines and releases the shards' durable-backend resources. It
+// does not snapshot; callers that want the latest control state
+// persisted call SaveSnapshot first. Batch calls after Close return
+// ErrClosed. Safe to call more than once.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -473,6 +589,7 @@ func (e *Engine) Close() {
 	}
 	for _, sh := range e.shards {
 		<-sh.done
+		sh.client.Close()
 	}
 }
 

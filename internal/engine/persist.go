@@ -1,0 +1,193 @@
+// Engine-level snapshot/restore. The durable layout under
+// Options.DataDir is:
+//
+//	DataDir/engine.snap      sealed manifest (geometry + epoch)
+//	DataDir/shard-<i>/       one core.Client durable directory per
+//	                         shard (storage.dat, storage.gen,
+//	                         state.snap — see core/persist.go)
+//
+// SaveSnapshot quiesces the engine (blocking new batches and waiting
+// out in-flight ones), levels shard cycle counts — so the persisted
+// image sits at cross-shard-equal cycle counts and a restart leaks
+// nothing a quiescent engine does not already reveal — then saves
+// every shard and finally the manifest. The manifest is written last
+// and read first: geometry is validated against the caller's options
+// before any shard state is touched.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/blockcipher"
+	"repro/internal/snapshot"
+)
+
+// ManifestFileName is the engine manifest inside Options.DataDir.
+const ManifestFileName = "engine.snap"
+
+func shardDir(dataDir string, s int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%d", s))
+}
+
+func manifestPath(dataDir string) string {
+	return filepath.Join(dataDir, ManifestFileName)
+}
+
+// manifestSealer derives the sealer for the manifest container. The
+// key is epoch-independent (a manifest from any boot must open); the
+// nonce stream is epoch-salted so it never replays across boots.
+func manifestSealer(opts Options, prf *blockcipher.PRF, epoch uint64) (blockcipher.Sealer, error) {
+	if opts.Insecure {
+		return blockcipher.NullSealer{}, nil
+	}
+	rng := blockcipher.NewRNG(prf.Derive(fmt.Sprintf("engine-manifest-nonce-epoch-%d", epoch), 32))
+	return blockcipher.NewAESSealer(prf.Derive("engine-manifest-key", 32), rng)
+}
+
+// wireManifest records the geometry echo and builds the manifest
+// sealer once the shards are up (their shared epoch is known then).
+// The shards' epoch AND lifetime checkpoint counters must agree: the
+// engine saves all shards in lockstep, so a divergence means the
+// directory holds snapshots from different checkpoints (e.g. a crash
+// midway through a SaveSnapshot loop) and resuming the mix would break
+// the leveled-cycle-count invariant.
+func (e *Engine) wireManifest(opts Options, prf *blockcipher.PRF) error {
+	if opts.DataDir == "" {
+		return nil
+	}
+	epoch, ckpt := e.shards[0].client.Epoch(), e.shards[0].client.Checkpoint()
+	for _, sh := range e.shards {
+		if got := sh.client.Epoch(); got != epoch {
+			return fmt.Errorf("engine: shard %d restored at epoch %d, shard 0 at %d; the per-shard snapshots are from different checkpoints", sh.id, got, epoch)
+		}
+		if got := sh.client.Checkpoint(); got != ckpt {
+			return fmt.Errorf("engine: shard %d restored at checkpoint %d, shard 0 at %d; the directory mixes snapshots from different checkpoints (crash during SaveSnapshot?)", sh.id, got, ckpt)
+		}
+	}
+	e.manifest = snapshot.Manifest{
+		Blocks:       opts.Blocks,
+		BlockSize:    opts.BlockSize,
+		Shards:       opts.Shards,
+		MemoryBytes:  opts.MemoryBytes,
+		ShuffleRatio: opts.ShuffleRatio,
+		Insecure:     opts.Insecure,
+		Seed:         opts.Seed,
+		Epoch:        epoch,
+	}
+	sealer, err := manifestSealer(opts, prf, epoch)
+	if err != nil {
+		return err
+	}
+	e.manSealer = sealer
+	return nil
+}
+
+// Epoch returns the engine's key-derivation boot generation: 0 for a
+// fresh New, previous+1 after each Restore.
+func (e *Engine) Epoch() uint64 { return e.manifest.Epoch }
+
+// SaveSnapshot persists a consistent engine image: it quiesces
+// (in-flight batches finish, new ones wait), levels every shard to the
+// maximum cycle count, saves each shard's control snapshot, and
+// finally writes the manifest. Restore resumes exactly this image.
+func (e *Engine) SaveSnapshot() error {
+	if e.dataDir == "" {
+		return errors.New("engine: SaveSnapshot requires Options.DataDir")
+	}
+	e.pause.Lock()
+	defer e.pause.Unlock()
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	// Level first: the image must show S identical cycle counts, so
+	// persistence adds no cross-shard traffic-volume channel beyond
+	// what a quiescent engine already shows.
+	if err := e.level(); err != nil {
+		return err
+	}
+	// One explicit checkpoint number for every shard — max across
+	// shards + 1 — so a shard whose previous save transiently failed
+	// (its counter lags) re-aligns here instead of staying skewed and
+	// poisoning the restore-time min-cut pairing.
+	var target uint64
+	for _, sh := range e.shards {
+		if ck := sh.client.Checkpoint(); ck > target {
+			target = ck
+		}
+	}
+	target++
+	for _, sh := range e.shards {
+		if err := sh.client.SaveSnapshotAt(target); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", sh.id, err)
+		}
+	}
+	payload, err := e.manifest.Encode()
+	if err != nil {
+		return err
+	}
+	sealed, err := e.manSealer.Seal(payload)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(manifestPath(e.dataDir), sealed)
+}
+
+// Restore resumes an engine from the image a previous SaveSnapshot
+// left in opts.DataDir. The options must agree with the persisted
+// manifest on every geometry dimension — a mismatch is refused before
+// any shard state is touched — and carry the same master key, from
+// which all shard keys re-derive.
+func Restore(opts Options) (*Engine, error) {
+	opts, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DataDir == "" {
+		return nil, errors.New("engine: Restore requires Options.DataDir")
+	}
+	var prf *blockcipher.PRF
+	if !opts.Insecure {
+		if prf, err = blockcipher.NewPRF(opts.Key); err != nil {
+			return nil, err
+		}
+	}
+	sealer, err := manifestSealer(opts, prf, 0) // key is epoch-independent; 0 only seeds the unused nonce stream
+	if err != nil {
+		return nil, err
+	}
+	sealedMan, err := snapshot.ReadFile(manifestPath(opts.DataDir))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := sealer.Open(sealedMan)
+	if err != nil {
+		return nil, fmt.Errorf("engine: manifest does not authenticate (wrong key or tampered file): %w", err)
+	}
+	man, err := snapshot.DecodeManifest(payload)
+	if err != nil {
+		return nil, err
+	}
+	mismatches := []struct {
+		name      string
+		got, want any
+	}{
+		{"Blocks", opts.Blocks, man.Blocks},
+		{"BlockSize", opts.BlockSize, man.BlockSize},
+		{"Shards", opts.Shards, man.Shards},
+		{"MemoryBytes", opts.MemoryBytes, man.MemoryBytes},
+		{"ShuffleRatio", opts.ShuffleRatio, man.ShuffleRatio},
+		{"Insecure", opts.Insecure, man.Insecure},
+		{"Seed", opts.Seed, man.Seed},
+	}
+	for _, m := range mismatches {
+		if m.got != m.want {
+			return nil, fmt.Errorf("engine: restore option mismatch: %s is %v but the persisted image was built with %v", m.name, m.got, m.want)
+		}
+	}
+	return assemble(opts, true)
+}

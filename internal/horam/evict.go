@@ -62,6 +62,15 @@ func (o *ORAM) evictAndShuffle() error {
 				window = 1
 			}
 		}
+		// Storage slots are only ever written here, so bracketing the
+		// partition writes with generation marks gives the persistence
+		// layer an exact consistency witness: started > completed on
+		// disk means a crash tore this very loop.
+		if o.cfg.ShuffleMark != nil {
+			if err := o.cfg.ShuffleMark(o.shuffleGen+1, false); err != nil {
+				return err
+			}
+		}
 		poolIdx := 0
 		shuffled := int64(0)
 		for shuffled < window || poolIdx < len(pool) {
@@ -87,6 +96,17 @@ func (o *ORAM) evictAndShuffle() error {
 		o.perm.ResetPeriod()
 		o.missCount = 0
 		o.storDev.ResetHead() // the next access is positioning-random
+		o.shuffleGen++
+		if o.cfg.ShuffleMark != nil {
+			// Make the generation's writes durable before the marker
+			// declares them so.
+			if err := o.SyncStorage(); err != nil {
+				return err
+			}
+			if err := o.cfg.ShuffleMark(o.shuffleGen, true); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 }

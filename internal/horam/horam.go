@@ -93,6 +93,22 @@ type Config struct {
 	// select device.DRAM() and device.PaperHDD().
 	MemProfile  device.Profile
 	StorProfile device.Profile
+	// Storage optionally supplies the storage-tier device — e.g. a
+	// durable device.File — instead of the default in-memory
+	// device.Sim. The factory receives StorProfile (or its default)
+	// and the sealed-slot geometry; whatever it returns must honour
+	// the Backend contract. The memory tier always stays a Sim: it
+	// models DRAM, which a restart loses anyway (its contents ride in
+	// snapshots instead).
+	Storage device.Factory
+	// ShuffleMark, when set, is called around every shuffle period's
+	// storage writes: once with (gen, false) before the first
+	// partition write of generation gen, and once with (gen, true)
+	// after the generation's writes are durable (the storage device is
+	// synced first). The persistence layer uses it to keep the on-disk
+	// generation marker truthful, which is what lets a restore detect
+	// a stale or torn storage image.
+	ShuffleMark func(gen int64, done bool) error
 }
 
 func (c Config) validate() error {
@@ -160,7 +176,7 @@ type ORAM struct {
 
 	mem     *pathoram.ORAM
 	memDev  *device.Sim
-	storDev *device.Sim
+	storDev device.Backend
 
 	perm       *posmap.PermutationList
 	partitions int64 // P = ⌈√N⌉
@@ -170,6 +186,7 @@ type ORAM struct {
 	missBudget int64 // storage loads allowed per access period (n/2)
 	missCount  int64 // loads so far this period
 	inShuffle  bool  // a shuffle period is executing
+	shuffleGen int64 // completed shuffle periods (the durability marker)
 
 	rob   []*Request
 	stats Stats
@@ -188,9 +205,27 @@ type Request struct {
 	done bool
 }
 
-// New constructs an H-ORAM, building both simulated devices and
-// writing the initial permuted storage layout (unmeasured setup).
+// New constructs an H-ORAM, building both tier devices and writing the
+// initial permuted storage layout (unmeasured setup). New always
+// reinitialises the storage tier — including a durable device.File,
+// whose previous contents are overwritten; resuming from a persisted
+// image goes through Restore instead.
 func New(cfg Config) (*ORAM, error) {
+	o, err := construct(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.initStorage(); err != nil {
+		o.CloseStorage()
+		return nil, err
+	}
+	return o, nil
+}
+
+// construct builds the instance skeleton — devices, memory tree,
+// permutation list — without touching the storage contents. New
+// initialises them; Restore installs a snapshot instead.
+func construct(cfg Config) (*ORAM, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -274,15 +309,17 @@ func New(cfg Config) (*ORAM, error) {
 		slack = 2
 	}
 	o.partSlots = perPart * slack
-	o.storDev, err = device.New(storProfile, slotSize, o.partitions*o.partSlots, o.clkStor)
+	if cfg.Storage != nil {
+		o.storDev, err = cfg.Storage(storProfile, slotSize, o.partitions*o.partSlots, o.clkStor)
+	} else {
+		o.storDev, err = device.New(storProfile, slotSize, o.partitions*o.partSlots, o.clkStor)
+	}
 	if err != nil {
 		return nil, err
 	}
 	o.perm, err = posmap.NewPermutationList(cfg.Blocks)
 	if err != nil {
-		return nil, err
-	}
-	if err := o.initStorage(); err != nil {
+		o.CloseStorage() // the factory may have opened a real file
 		return nil, err
 	}
 	return o, nil
@@ -291,8 +328,32 @@ func New(cfg Config) (*ORAM, error) {
 // Mem returns the memory-tier device for stats collection.
 func (o *ORAM) Mem() *device.Sim { return o.memDev }
 
-// Stor returns the storage-tier device for stats collection.
-func (o *ORAM) Stor() *device.Sim { return o.storDev }
+// Stor returns the storage-tier device for stats collection and
+// adversary hooks.
+func (o *ORAM) Stor() device.Backend { return o.storDev }
+
+// SyncStorage flushes the storage tier's durable medium, when it has
+// one (device.File); a pure simulation is a no-op.
+func (o *ORAM) SyncStorage() error {
+	if s, ok := o.storDev.(device.Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// CloseStorage releases the storage tier's OS resources, when it holds
+// any. The instance is unusable afterwards.
+func (o *ORAM) CloseStorage() error {
+	if c, ok := o.storDev.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ShuffleGen returns the number of completed shuffle periods — the
+// generation counter the persistence layer uses to tie a control
+// snapshot to the storage image it matches.
+func (o *ORAM) ShuffleGen() int64 { return o.shuffleGen }
 
 // Clock returns the global (overlap-aware) virtual clock.
 func (o *ORAM) Clock() *simclock.Clock { return o.clk }

@@ -101,6 +101,28 @@ func (m *PositionMap) Clear() {
 	}
 }
 
+// Export returns a copy of the full leaf assignment, indexed by
+// address — the snapshot subsystem's view of the map.
+func (m *PositionMap) Export() []int64 {
+	out := make([]int64, len(m.leaves))
+	copy(out, m.leaves)
+	return out
+}
+
+// Import replaces the leaf assignment with a previously Exported one.
+func (m *PositionMap) Import(leaves []int64) error {
+	if len(leaves) != len(m.leaves) {
+		return fmt.Errorf("posmap: import of %d leaves into a map of %d addresses", len(leaves), len(m.leaves))
+	}
+	for addr, leaf := range leaves {
+		if leaf != NoLeaf && (leaf < 0 || leaf >= m.nLeaf) {
+			return fmt.Errorf("posmap: import: address %d leaf %d out of range [0,%d)", addr, leaf, m.nLeaf)
+		}
+	}
+	copy(m.leaves, leaves)
+	return nil
+}
+
 // Tier says which physical layer currently holds a block.
 type Tier uint8
 
@@ -164,6 +186,31 @@ func (l *PermutationList) InitRandom(rng *blockcipher.RNG) []int64 {
 
 // Size returns the number of addresses.
 func (l *PermutationList) Size() int64 { return int64(len(l.entries)) }
+
+// Export returns a copy of every entry, indexed by address — the
+// snapshot subsystem's view of the list.
+func (l *PermutationList) Export() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Import replaces the list with a previously Exported one and
+// re-validates the storage-slot injection, so a corrupted snapshot
+// cannot install two blocks in one slot.
+func (l *PermutationList) Import(entries []Entry) error {
+	if len(entries) != len(l.entries) {
+		return fmt.Errorf("posmap: import of %d entries into a list of %d addresses", len(entries), len(l.entries))
+	}
+	prev := l.entries
+	l.entries = make([]Entry, len(entries))
+	copy(l.entries, entries)
+	if err := l.ValidateStoragePermutation(); err != nil {
+		l.entries = prev
+		return err
+	}
+	return nil
+}
 
 func (l *PermutationList) check(addr int64) error {
 	if addr < 0 || addr >= int64(len(l.entries)) {

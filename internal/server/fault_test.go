@@ -1,0 +1,140 @@
+// Fault-injection regression tests for the batcher's per-task error
+// attribution: when one chunk of a window fails, only the tasks whose
+// requests were in that chunk see the error — tasks whose chunks
+// drained (before OR after the failing one) get their real results.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+var errChunkFault = errors.New("injected chunk fault")
+
+// dispatchWindow submits the tasks into one batching window with
+// deterministic ordering (the batcher collects submissions in arrival
+// order) and returns each task's delivered error.
+func dispatchWindow(t *testing.T, s *Server, tasks [][]*core.Request) []error {
+	t.Helper()
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, reqs := range tasks {
+		wg.Add(1)
+		go func(i int, reqs []*core.Request) {
+			defer wg.Done()
+			errs[i] = s.dispatch(reqs)
+		}(i, reqs)
+		// Give the batcher time to pull this task before the next is
+		// submitted, so task order — and therefore chunk layout — is
+		// deterministic under the long window below.
+		time.Sleep(20 * time.Millisecond)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestBatcherPerTaskErrorAttribution(t *testing.T) {
+	// MaxBatch 2 with three 2-request tasks → one window of exactly
+	// three chunks, one chunk per task.
+	_, srv := startServer(t, Config{BatchWindow: 500 * time.Millisecond, MaxBatch: 2})
+
+	var faultAddr atomic.Int64
+	faultAddr.Store(-1)
+	realDrain := srv.drain
+	srv.drain = func(reqs []*core.Request) error {
+		for _, r := range reqs {
+			if r.Addr == faultAddr.Load() {
+				return fmt.Errorf("%w (addr %d)", errChunkFault, r.Addr)
+			}
+		}
+		return realDrain(reqs)
+	}
+
+	mkTask := func(base int64) []*core.Request {
+		return []*core.Request{
+			{Op: core.OpRead, Addr: base},
+			{Op: core.OpRead, Addr: base + 1},
+		}
+	}
+
+	// Fault the MIDDLE task's chunk: the first chunk already drained
+	// successfully when the fault hits, the third is attempted after
+	// it. Before the fix, all three clients saw the error.
+	faultAddr.Store(10)
+	errs := dispatchWindow(t, srv, [][]*core.Request{mkTask(0), mkTask(10), mkTask(20)})
+	if errs[0] != nil {
+		t.Errorf("task 0 (chunk drained before the fault) got %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], errChunkFault) {
+		t.Errorf("task 1 (the faulted chunk) got %v, want the injected fault", errs[1])
+	}
+	if errs[2] != nil {
+		t.Errorf("task 2 (chunk after the fault) got %v, want nil — its requests really executed", errs[2])
+	}
+
+	// Fault the FIRST task's chunk: later chunks must still be
+	// attempted and succeed (before the fix they were never attempted
+	// yet reported the first chunk's error).
+	faultAddr.Store(0)
+	errs = dispatchWindow(t, srv, [][]*core.Request{mkTask(0), mkTask(10)})
+	if !errors.Is(errs[0], errChunkFault) {
+		t.Errorf("task 0 got %v, want the injected fault", errs[0])
+	}
+	if errs[1] != nil {
+		t.Errorf("task 1 got %v, want nil", errs[1])
+	}
+
+	// No fault: everyone succeeds.
+	faultAddr.Store(-1)
+	errs = dispatchWindow(t, srv, [][]*core.Request{mkTask(0), mkTask(10)})
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("task %d got %v after fault cleared", i, err)
+		}
+	}
+}
+
+// TestBatcherSpanningTaskErrorAttribution covers a task whose requests
+// span a chunk boundary: it must see the error if ANY of its chunks
+// failed.
+func TestBatcherSpanningTaskErrorAttribution(t *testing.T) {
+	// MaxBatch 4; task A has 3 requests, task B has 3: chunks are
+	// [A0 A1 A2 B0] and [B1 B2] — B spans both chunks.
+	_, srv := startServer(t, Config{BatchWindow: 500 * time.Millisecond, MaxBatch: 4})
+
+	var faultAddr atomic.Int64
+	faultAddr.Store(-1)
+	realDrain := srv.drain
+	srv.drain = func(reqs []*core.Request) error {
+		for _, r := range reqs {
+			if r.Addr == faultAddr.Load() {
+				return errChunkFault
+			}
+		}
+		return realDrain(reqs)
+	}
+	taskA := []*core.Request{
+		{Op: core.OpRead, Addr: 0}, {Op: core.OpRead, Addr: 1}, {Op: core.OpRead, Addr: 2},
+	}
+	taskB := []*core.Request{
+		{Op: core.OpRead, Addr: 10}, {Op: core.OpRead, Addr: 11}, {Op: core.OpRead, Addr: 12},
+	}
+
+	// Fault the second chunk (addr 11 is in it): A's only chunk is the
+	// first, which also carries B's first request — A must be clean, B
+	// must see the error.
+	faultAddr.Store(11)
+	errs := dispatchWindow(t, srv, [][]*core.Request{taskA, taskB})
+	if errs[0] != nil {
+		t.Errorf("task A got %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], errChunkFault) {
+		t.Errorf("task B got %v, want the injected fault (its tail chunk failed)", errs[1])
+	}
+}

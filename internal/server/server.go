@@ -101,6 +101,10 @@ type Server struct {
 	batcherDone chan struct{}
 	wg          sync.WaitGroup
 
+	// drain executes one chunk of a window; engine.Batch in
+	// production, overridable by fault-injection tests.
+	drain func(reqs []*core.Request) error
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -136,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		batcherDone: make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	s.drain = cfg.Engine.Batch
 	go s.batcher()
 	return s, nil
 }
@@ -272,6 +277,14 @@ func (s *Server) dispatch(reqs []*core.Request) error {
 // a window on the first queued task, keeps collecting until the
 // window closes or the batch cap is hit, and drains everything as one
 // ROB batch.
+//
+// Error attribution is per task, not per window: the window drains in
+// MaxBatch chunks, every chunk is attempted regardless of earlier
+// chunk failures (the engine's batches are independent), and a task
+// only observes an error from a chunk that contained at least one of
+// ITS requests. A task whose chunks all drained cleanly gets nil even
+// when a neighbour's chunk failed — its operations really executed,
+// and telling its client ERR would be a lie in both directions.
 func (s *Server) batcher() {
 	defer close(s.batcherDone)
 	for {
@@ -281,6 +294,7 @@ func (s *Server) batcher() {
 		}
 		reqs := append([]*core.Request(nil), t.reqs...)
 		waiters := []*task{t}
+		starts := []int{0} // waiters[i]'s requests occupy reqs[starts[i] : starts[i]+len(waiters[i].reqs)]
 		timer := time.NewTimer(s.cfg.BatchWindow)
 		open := true
 	collect:
@@ -291,6 +305,7 @@ func (s *Server) batcher() {
 					open = false
 					break collect
 				}
+				starts = append(starts, len(reqs))
 				reqs = append(reqs, t2.reqs...)
 				waiters = append(waiters, t2)
 			case <-timer.C:
@@ -301,23 +316,36 @@ func (s *Server) batcher() {
 		// A single task (one MULTI) may exceed MaxBatch on its own;
 		// chunk the drain so -max-batch really bounds per-drain
 		// latency for everyone sharing the scheduler.
-		var err error
-		for off := 0; off < len(reqs) && err == nil; off += s.cfg.MaxBatch {
+		type chunk struct {
+			off, end int
+			err      error
+		}
+		var chunks []chunk
+		for off := 0; off < len(reqs); off += s.cfg.MaxBatch {
 			end := off + s.cfg.MaxBatch
 			if end > len(reqs) {
 				end = len(reqs)
 			}
-			err = s.engine.Batch(reqs[off:end])
-			// Count only successful windows, mirroring the engine's
+			err := s.drain(reqs[off:end])
+			// Count only successful chunks, mirroring the engine's
 			// per-shard drain hooks (which skip failed drains) — so the
 			// per-shard request sums always reconcile with the window
 			// totals, even after faults.
 			if err == nil {
 				s.record(end - off)
 			}
+			chunks = append(chunks, chunk{off, end, err})
 		}
-		for _, w := range waiters {
-			w.done <- err
+		for i, w := range waiters {
+			lo, hi := starts[i], starts[i]+len(w.reqs)
+			var werr error
+			for _, c := range chunks {
+				if c.err != nil && c.off < hi && lo < c.end {
+					werr = c.err
+					break
+				}
+			}
+			w.done <- werr
 		}
 		if !open {
 			return

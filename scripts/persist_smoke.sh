@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Persistence smoke: build horamd, start it with -data-dir, write a
+# data set over the wire, SIGTERM it between batches, restart from the
+# same directory, and verify every block reads back. CI runs this as
+# the durability acceptance gate; `make persist-smoke` runs it locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/horamd" ./cmd/horamd
+go run ./scripts/persistsmoke -horamd "$tmp/horamd"
