@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-persist persist-smoke fmt
+.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist persist-smoke fmt
 
 ci: build vet fmt-check test race bench-smoke persist-smoke
 
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client
+	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -39,6 +39,11 @@ bench:
 # aggregate throughput vs shard count through internal/engine.
 bench-shard:
 	$(GO) run ./cmd/horam-bench -exp shard -out BENCH_shard.json
+
+# Regenerate the committed tail-latency baseline (BENCH_latency.json):
+# per-request p50/p99/max, monolithic vs deamortized shuffle.
+bench-latency:
+	$(GO) run ./cmd/horam-bench -exp latency -out BENCH_latency.json
 
 # Regenerate the committed persistence baseline (BENCH_persist.json):
 # file-backed storage device vs the in-memory simulator.

@@ -15,6 +15,7 @@
 //	horam-bench -exp ablations           # Z sweep + scheduler schedule
 //	horam-bench -exp concurrency         # serving throughput vs TCP clients
 //	horam-bench -exp shard               # sharded-engine throughput vs shard count
+//	horam-bench -exp latency             # per-request tail latency, monolithic vs incremental shuffle
 //	horam-bench -exp persist             # file-backed storage vs in-memory simulator
 //
 // Absolute durations come from the calibrated device models (Table
@@ -30,11 +31,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, persist")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
-	out := flag.String("out", "", "also write the -exp shard sweep as a JSON baseline to this path")
+	out := flag.String("out", "", "also write the -exp shard or -exp latency sweep as a JSON baseline to this path")
 	flag.Parse()
 
 	if err := run(*exp, *scale, *crypto, *reqs, *out); err != nil {
@@ -184,6 +185,22 @@ func run(exp string, scale float64, crypto bool, reqs int, out string) error {
 		fmt.Println()
 		if out != "" {
 			if err := bench.WriteShardJSON(out, rows, p); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if all || exp == "latency" {
+		ran = true
+		p := bench.DefaultLatencyParams()
+		rows, err := bench.RunLatency(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatLatency(rows, p))
+		fmt.Println()
+		if exp == "latency" && out != "" {
+			if err := bench.WriteLatencyJSON(out, rows, p); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", out)

@@ -61,6 +61,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory simulation, nothing survives restart)")
 	checkpoint := flag.Duration("checkpoint", time.Minute, "periodic control-state checkpoint interval with -data-dir (0 disables; a final checkpoint always runs on shutdown)")
 	fsync := flag.Int("fsync", 0, "storage fsync policy with -data-dir: 0 = at shuffle/checkpoint boundaries only, 1 = every write, n = every n-th write")
+	monolithic := flag.Bool("monolithic-shuffle", false, "run each shuffle period as one stop-the-world pass instead of the default deamortized per-cycle quanta (tail latency!)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -68,13 +69,14 @@ func main() {
 		log.Fatalf("horamd: bad -key: %v", err)
 	}
 	opts := engine.Options{
-		Blocks:      *blocks,
-		BlockSize:   *blockSize,
-		MemoryBytes: *mem,
-		Key:         key,
-		Shards:      *shards,
-		DataDir:     *dataDir,
-		FsyncEvery:  *fsync,
+		Blocks:            *blocks,
+		BlockSize:         *blockSize,
+		MemoryBytes:       *mem,
+		Key:               key,
+		Shards:            *shards,
+		MonolithicShuffle: *monolithic,
+		DataDir:           *dataDir,
+		FsyncEvery:        *fsync,
 	}
 
 	// Load-on-start: an existing manifest means a previous instance
@@ -113,8 +115,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
 	}
-	log.Printf("horamd: serving %d x %d B blocks on %s (%d shards, batch window %v, max batch %d, max conns %d)",
-		*blocks, *blockSize, ln.Addr(), eng.Shards(), *window, *maxBatch, *maxConns)
+	shuffleMode := "incremental"
+	if *monolithic {
+		shuffleMode = "monolithic"
+	}
+	log.Printf("horamd: serving %d x %d B blocks on %s (%d shards, %s shuffle, batch window %v, max batch %d, max conns %d)",
+		*blocks, *blockSize, ln.Addr(), eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
 
 	// Periodic checkpoints keep the recoverable image fresh; a hard
 	// crash loses at most one interval of writes.

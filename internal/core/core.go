@@ -61,6 +61,10 @@ type Options struct {
 	Seed string
 	// ShuffleRatio enables partial shuffling (§5.3.1); 0 or 1 = full.
 	ShuffleRatio float64
+	// MonolithicShuffle selects the stop-the-world shuffle (the whole
+	// period inside one scheduler cycle) instead of the default
+	// deamortized pipeline — see horam.Config.MonolithicShuffle.
+	MonolithicShuffle bool
 	// Stages overrides the scheduler's c schedule; nil = PaperStages.
 	Stages []horam.Stage
 	// DataDir enables the durable storage backend: the storage tier
@@ -203,13 +207,14 @@ func prepare(opts Options, epoch uint64) (*Client, horam.Config, error) {
 		snapSealer: snapSealer,
 	}
 	cfg := horam.Config{
-		Blocks:       opts.Blocks,
-		BlockSize:    opts.BlockSize,
-		MemoryBytes:  opts.MemoryBytes,
-		ShuffleRatio: opts.ShuffleRatio,
-		Stages:       opts.Stages,
-		Sealer:       sealer,
-		RNG:          blockcipher.NewRNGFromString(seed),
+		Blocks:            opts.Blocks,
+		BlockSize:         opts.BlockSize,
+		MemoryBytes:       opts.MemoryBytes,
+		ShuffleRatio:      opts.ShuffleRatio,
+		MonolithicShuffle: opts.MonolithicShuffle,
+		Stages:            opts.Stages,
+		Sealer:            sealer,
+		RNG:               blockcipher.NewRNGFromString(seed),
 	}
 	if opts.DataDir != "" {
 		if err := c.wireDurability(&cfg, opts.FsyncEvery); err != nil {

@@ -1,8 +1,9 @@
 // Differential tests: the sharded engine against a plain map model.
 // The model defines the reference semantics — reads return the last
 // value written in submission order (zeros if never written) — and the
-// engine must match it at every shard count, across shuffle periods,
-// under randomized mixed batches that include duplicate addresses.
+// engine must match it at every shard count, in both shuffle modes,
+// across shuffle periods, under randomized mixed batches that include
+// duplicate addresses.
 package engine
 
 import (
@@ -24,82 +25,102 @@ const (
 	diffOps       = 1600
 )
 
+// runDifferential drives the seeded randomized workload through one
+// engine, checking every read against the map model as batches
+// complete, and returns the concatenated read results so callers can
+// also compare runs against each other.
+func runDifferential(t *testing.T, e *Engine, label string) []byte {
+	t.Helper()
+	// One workload seed for every shard count and shuffle mode: the
+	// reference behaviour must not depend on either.
+	rng := blockcipher.NewRNGFromString("differential-workload")
+	model := make(map[int64]byte)
+	var readLog []byte
+	done := 0
+	for done < diffOps {
+		n := 1 + rng.Intn(48)
+		if done+n > diffOps {
+			n = diffOps - done
+		}
+		reqs := make([]*Request, n)
+		vals := make([]byte, n)
+		for i := 0; i < n; i++ {
+			addr := rng.Int63n(diffBlocks)
+			if rng.Intn(2) == 0 {
+				v := byte(rng.Intn(255) + 1)
+				vals[i] = v
+				reqs[i] = &Request{Op: OpWrite, Addr: addr, Data: bytes.Repeat([]byte{v}, diffBlockSize)}
+			} else {
+				reqs[i] = &Request{Op: OpRead, Addr: addr}
+			}
+		}
+		if err := e.Batch(reqs); err != nil {
+			t.Fatalf("%s: batch at op %d: %v", label, done, err)
+		}
+		// Check reads against the model with an overlay for
+		// writes earlier in the same batch (per-address program
+		// order holds inside a batch).
+		overlay := make(map[int64]byte, n)
+		for i, r := range reqs {
+			if r.Op == OpWrite {
+				overlay[r.Addr] = vals[i]
+				continue
+			}
+			want := model[r.Addr]
+			if v, ok := overlay[r.Addr]; ok {
+				want = v
+			}
+			if !bytes.Equal(r.Result, bytes.Repeat([]byte{want}, diffBlockSize)) {
+				t.Fatalf("%s: op %d: read %d returned %v, want fill %d", label, done+i, r.Addr, r.Result[:4], want)
+			}
+			readLog = append(readLog, r.Result[0])
+		}
+		for a, v := range overlay {
+			model[a] = v
+		}
+		done += n
+	}
+
+	// The geometry must actually have crossed shuffle periods —
+	// on every shard, or the period-boundary coverage is
+	// imaginary.
+	for _, sh := range e.ShardStats() {
+		if sh.Shuffles < 2 {
+			t.Fatalf("%s: shard %d shuffled only %d times; geometry drifted", label, sh.Shard, sh.Shuffles)
+		}
+	}
+	return readLog
+}
+
 // TestDifferentialAgainstMapModel drives the same seeded randomized
 // workload (mixed read/write batches of random sizes, duplicate
-// addresses allowed) through the engine at shard counts 1, 2 and 4,
-// checking every read against the map model as batches complete.
+// addresses allowed) through the engine at shard counts 1, 2 and 4 in
+// both shuffle modes, checking every read against the map model as
+// batches complete — and then checks the two modes returned exactly
+// the same bytes for every read (identical logical results).
 func TestDifferentialAgainstMapModel(t *testing.T) {
 	for _, shards := range []int{1, 2, 4} {
 		shards := shards
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			e, err := New(Options{
-				Blocks:      diffBlocks,
-				BlockSize:   diffBlockSize,
-				MemoryBytes: diffMemBytes,
-				Insecure:    true,
-				Seed:        fmt.Sprintf("differential-%d", shards),
-				Shards:      shards,
-			})
-			if err != nil {
-				t.Fatal(err)
+			logs := make(map[string][]byte)
+			for _, mode := range shuffleModes {
+				e, err := New(Options{
+					Blocks:            diffBlocks,
+					BlockSize:         diffBlockSize,
+					MemoryBytes:       diffMemBytes,
+					Insecure:          true,
+					Seed:              fmt.Sprintf("differential-%d", shards),
+					Shards:            shards,
+					MonolithicShuffle: mode.monolithic,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				logs[mode.name] = runDifferential(t, e, mode.name)
+				e.Close()
 			}
-			defer e.Close()
-
-			// One workload seed for every shard count: the reference
-			// behaviour must not depend on sharding.
-			rng := blockcipher.NewRNGFromString("differential-workload")
-			model := make(map[int64]byte)
-			done := 0
-			for done < diffOps {
-				n := 1 + rng.Intn(48)
-				if done+n > diffOps {
-					n = diffOps - done
-				}
-				reqs := make([]*Request, n)
-				vals := make([]byte, n)
-				for i := 0; i < n; i++ {
-					addr := rng.Int63n(diffBlocks)
-					if rng.Intn(2) == 0 {
-						v := byte(rng.Intn(255) + 1)
-						vals[i] = v
-						reqs[i] = &Request{Op: OpWrite, Addr: addr, Data: bytes.Repeat([]byte{v}, diffBlockSize)}
-					} else {
-						reqs[i] = &Request{Op: OpRead, Addr: addr}
-					}
-				}
-				if err := e.Batch(reqs); err != nil {
-					t.Fatalf("batch at op %d: %v", done, err)
-				}
-				// Check reads against the model with an overlay for
-				// writes earlier in the same batch (per-address program
-				// order holds inside a batch).
-				overlay := make(map[int64]byte, n)
-				for i, r := range reqs {
-					if r.Op == OpWrite {
-						overlay[r.Addr] = vals[i]
-						continue
-					}
-					want := model[r.Addr]
-					if v, ok := overlay[r.Addr]; ok {
-						want = v
-					}
-					if !bytes.Equal(r.Result, bytes.Repeat([]byte{want}, diffBlockSize)) {
-						t.Fatalf("op %d: read %d returned %v, want fill %d", done+i, r.Addr, r.Result[:4], want)
-					}
-				}
-				for a, v := range overlay {
-					model[a] = v
-				}
-				done += n
-			}
-
-			// The geometry must actually have crossed shuffle periods —
-			// on every shard, or the period-boundary coverage is
-			// imaginary.
-			for _, sh := range e.ShardStats() {
-				if sh.Shuffles < 2 {
-					t.Fatalf("shard %d shuffled only %d times; geometry drifted", sh.Shard, sh.Shuffles)
-				}
+			if !bytes.Equal(logs["incremental"], logs["monolithic"]) {
+				t.Fatal("incremental and monolithic shuffle modes returned different read results for the same workload")
 			}
 		})
 	}

@@ -100,9 +100,12 @@ type Options struct {
 	Seed string
 	// Shards is the shard count S; 0 selects 1.
 	Shards int
-	// ShuffleRatio and Stages pass through to every shard.
-	ShuffleRatio float64
-	Stages       []horam.Stage
+	// ShuffleRatio, MonolithicShuffle and Stages pass through to every
+	// shard. MonolithicShuffle selects the stop-the-world shuffle over
+	// the default deamortized pipeline (see core.Options).
+	ShuffleRatio      float64
+	MonolithicShuffle bool
+	Stages            []horam.Stage
 	// DataDir enables the durable storage backend: shard i keeps its
 	// storage file, generation marker and control snapshot under
 	// DataDir/shard-<i>/, and SaveSnapshot maintains the engine
@@ -297,13 +300,14 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 	shardOpts := make([]core.Options, opts.Shards)
 	for s := 0; s < opts.Shards; s++ {
 		shardOpts[s] = core.Options{
-			Blocks:       counts[s],
-			BlockSize:    opts.BlockSize,
-			MemoryBytes:  memPerShard,
-			Insecure:     opts.Insecure,
-			ShuffleRatio: opts.ShuffleRatio,
-			Stages:       opts.Stages,
-			FsyncEvery:   opts.FsyncEvery,
+			Blocks:            counts[s],
+			BlockSize:         opts.BlockSize,
+			MemoryBytes:       memPerShard,
+			Insecure:          opts.Insecure,
+			ShuffleRatio:      opts.ShuffleRatio,
+			MonolithicShuffle: opts.MonolithicShuffle,
+			Stages:            opts.Stages,
+			FsyncEvery:        opts.FsyncEvery,
 		}
 		if opts.DataDir != "" {
 			shardOpts[s].DataDir = shardDir(opts.DataDir, s)
@@ -494,6 +498,8 @@ func (e *Engine) Batch(reqs []*Request) error {
 			firstErr = err
 		}
 		reqs[i].Result = shadows[i].Result
+		reqs[i].SubmitSim = shadows[i].SubmitSim
+		reqs[i].DoneSim = shadows[i].DoneSim
 	}
 
 	// Level even when the batch failed: whatever real cycles did run
@@ -606,7 +612,13 @@ type Summary struct {
 	Cycles   int64
 	Batches  int64 // per-shard scheduler drains, summed
 	Padded   int64 // leveling dummy cycles, summed (subset of Cycles)
-	SimTime  time.Duration
+	// Quanta sums the shards' incremental shuffle quanta; MaxCycleTime
+	// is the costliest single scheduler cycle on any shard — the
+	// deamortization bound (huge in monolithic mode, O(one partition)
+	// in incremental mode).
+	Quanta       int64
+	MaxCycleTime time.Duration
+	SimTime      time.Duration
 }
 
 // Stats returns the aggregate counters.
@@ -619,6 +631,10 @@ func (e *Engine) Stats() Summary {
 		sum.Misses += cs.Misses
 		sum.Shuffles += cs.Shuffles
 		sum.Cycles += cs.Cycles
+		sum.Quanta += cs.ShuffleQuanta
+		if cs.MaxCycleTime > sum.MaxCycleTime {
+			sum.MaxCycleTime = cs.MaxCycleTime
+		}
 		if cs.SimulatedTime > sum.SimTime {
 			sum.SimTime = cs.SimulatedTime
 		}
@@ -645,7 +661,12 @@ type ShardStats struct {
 	Hits       int64
 	Misses     int64
 	Shuffles   int64
-	SimTime    time.Duration
+	// ShuffleQuanta counts incremental shuffle quanta executed;
+	// MaxCycleTime is the shard's costliest single scheduler cycle,
+	// shuffle work included.
+	ShuffleQuanta int64
+	MaxCycleTime  time.Duration
+	SimTime       time.Duration
 }
 
 // ShardStats returns a per-shard snapshot, indexed by shard id.
@@ -655,18 +676,20 @@ func (e *Engine) ShardStats() []ShardStats {
 		cs := sh.client.Stats()
 		sh.mu.Lock()
 		st := ShardStats{
-			Shard:      i,
-			Blocks:     sh.client.Blocks(),
-			QueueDepth: sh.client.PendingFutures(),
-			Batches:    sh.batches,
-			Requests:   sh.requests,
-			Hist:       sh.hist,
-			Cycles:     cs.Cycles,
-			PadCycles:  sh.padCycles,
-			Hits:       cs.Hits,
-			Misses:     cs.Misses,
-			Shuffles:   cs.Shuffles,
-			SimTime:    cs.SimulatedTime,
+			Shard:         i,
+			Blocks:        sh.client.Blocks(),
+			QueueDepth:    sh.client.PendingFutures(),
+			Batches:       sh.batches,
+			Requests:      sh.requests,
+			Hist:          sh.hist,
+			Cycles:        cs.Cycles,
+			PadCycles:     sh.padCycles,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Shuffles:      cs.Shuffles,
+			ShuffleQuanta: cs.ShuffleQuanta,
+			MaxCycleTime:  cs.MaxCycleTime,
+			SimTime:       cs.SimulatedTime,
 		}
 		sh.mu.Unlock()
 		if st.Batches > 0 {

@@ -67,14 +67,15 @@ func (e *Engine) wireManifest(opts Options, prf *blockcipher.PRF) error {
 		}
 	}
 	e.manifest = snapshot.Manifest{
-		Blocks:       opts.Blocks,
-		BlockSize:    opts.BlockSize,
-		Shards:       opts.Shards,
-		MemoryBytes:  opts.MemoryBytes,
-		ShuffleRatio: opts.ShuffleRatio,
-		Insecure:     opts.Insecure,
-		Seed:         opts.Seed,
-		Epoch:        epoch,
+		Blocks:            opts.Blocks,
+		BlockSize:         opts.BlockSize,
+		Shards:            opts.Shards,
+		MemoryBytes:       opts.MemoryBytes,
+		ShuffleRatio:      opts.ShuffleRatio,
+		MonolithicShuffle: opts.MonolithicShuffle,
+		Insecure:          opts.Insecure,
+		Seed:              opts.Seed,
+		Epoch:             epoch,
 	}
 	sealer, err := manifestSealer(opts, prf, epoch)
 	if err != nil {
@@ -181,6 +182,7 @@ func Restore(opts Options) (*Engine, error) {
 		{"Shards", opts.Shards, man.Shards},
 		{"MemoryBytes", opts.MemoryBytes, man.MemoryBytes},
 		{"ShuffleRatio", opts.ShuffleRatio, man.ShuffleRatio},
+		{"MonolithicShuffle", opts.MonolithicShuffle, man.MonolithicShuffle},
 		{"Insecure", opts.Insecure, man.Insecure},
 		{"Seed", opts.Seed, man.Seed},
 	}

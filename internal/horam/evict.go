@@ -1,6 +1,7 @@
 package horam
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/posmap"
@@ -8,12 +9,86 @@ import (
 	"repro/internal/stash"
 )
 
-// evictAndShuffle runs the paper's shuffle period (§4.3):
+// ErrPoisoned marks an instance whose shuffle failed mid-flight. A
+// failed shuffle leaves partitions partially rewritten, the shuffle
+// cursor advanced and the in-memory control state out of step with the
+// device image, so no later operation can be trusted: the instance is
+// poisoned and every subsequent entry point returns an error wrapping
+// this sentinel. Recovery is a Restore from the last good snapshot
+// (the generation marker refuses the torn storage image) or a fresh
+// New.
+var ErrPoisoned = errors.New("horam: instance poisoned by failed shuffle")
+
+// shuffleState is the incremental shuffle state machine: the in-flight
+// period's trusted pool and progress cursors. One quantum — the tree
+// evict, or a single partition rewrite — executes per shuffle-mode
+// scheduler cycle, so the period's O(window·partition) device work is
+// spread across O(window) cycles instead of landing in one.
+type shuffleState struct {
+	active   bool
+	evicted  bool          // the tree-evict quantum has run
+	pool     []stash.Block // evicted blocks awaiting placement
+	poolAddr map[int64]int // addr -> pool index, pending blocks only
+	poolIdx  int
+	shuffled int64 // partitions rewritten this period
+	window   int64
+}
+
+// poison records the first shuffle failure; all later entry points
+// fail with an error wrapping ErrPoisoned.
+func (o *ORAM) poison(cause error) {
+	if o.poisoned == nil {
+		o.poisoned = fmt.Errorf("%w: %v", ErrPoisoned, cause)
+	}
+}
+
+// shuffleWindow returns the number of partitions the current period
+// must rewrite: all of them, or ⌈r·P⌉ with partial shuffling (§5.3.1).
+func (o *ORAM) shuffleWindow() int64 {
+	window := o.partitions
+	if o.cfg.ShuffleRatio > 0 && o.cfg.ShuffleRatio < 1 {
+		window = int64(float64(o.partitions)*o.cfg.ShuffleRatio + 0.5)
+		if window < 1 {
+			window = 1
+		}
+	}
+	return window
+}
+
+// evictTree is the oblivious tree evict shared by both shuffle modes:
+// the whole memory tree (real + dummy slots) is scanned into a trusted
+// buffer, shuffled, and the dummies dropped, so the scan order reveals
+// nothing about which slots were real. DrainAll performs the full
+// sequential scan on the memory device (charging its time); the
+// uniform shuffle stands in for the oblivious buffer shuffle — inside
+// trusted memory any uniform permutation is admissible.
+func (o *ORAM) evictTree() ([]stash.Block, error) {
+	evicted, err := o.mem.DrainAll()
+	if err != nil {
+		return nil, err
+	}
+	items := make([][]byte, len(evicted))
+	addrs := make([]int64, len(evicted))
+	for i, b := range evicted {
+		items[i] = b.Data
+		addrs[i] = b.Addr
+	}
+	perm := shuffle.Random(len(items), o.cfg.RNG)
+	items = shuffle.Apply(perm, items)
+	addrs = shuffle.Apply(perm, addrs)
+	o.stats.EvictedReal += int64(len(items))
+
+	pool := make([]stash.Block, len(items))
+	for i := range items {
+		pool[i] = stash.Block{Addr: addrs[i], Data: items[i]}
+	}
+	return pool, nil
+}
+
+// evictAndShuffle runs the paper's shuffle period (§4.3) as one
+// monolithic pass (Config.MonolithicShuffle):
 //
-//  1. oblivious tree evict — the whole memory tree (real + dummy
-//     slots) is scanned into a trusted buffer, shuffled, and the
-//     dummies dropped, so the scan order reveals nothing about which
-//     slots were real;
+//  1. oblivious tree evict (evictTree);
 //  2. group & partition shuffle — the shuffle window's partitions are
 //     processed left to right: read the partition sequentially, keep
 //     its live cold blocks, concatenate the next piece of the evicted
@@ -29,39 +104,14 @@ func (o *ORAM) evictAndShuffle() error {
 	o.inShuffle = true
 	defer func() { o.inShuffle = false }()
 	return o.serial("shuffle", func() error {
-		// Phase 1: oblivious tree evict. DrainAll performs the full
-		// sequential scan on the memory device (charging its time) and
-		// returns the real blocks; the uniform shuffle below stands in
-		// for the oblivious buffer shuffle — inside trusted memory any
-		// uniform permutation is admissible.
-		evicted, err := o.mem.DrainAll()
+		// Phase 1: oblivious tree evict.
+		pool, err := o.evictTree()
 		if err != nil {
 			return err
 		}
-		items := make([][]byte, len(evicted))
-		addrs := make([]int64, len(evicted))
-		for i, b := range evicted {
-			items[i] = b.Data
-			addrs[i] = b.Addr
-		}
-		perm := shuffle.Random(len(items), o.cfg.RNG)
-		items = shuffle.Apply(perm, items)
-		addrs = shuffle.Apply(perm, addrs)
-		o.stats.EvictedReal += int64(len(items))
-
-		pool := make([]stash.Block, len(items))
-		for i := range items {
-			pool[i] = stash.Block{Addr: addrs[i], Data: items[i]}
-		}
 
 		// Phase 2: group & partition shuffle over the window.
-		window := o.partitions
-		if o.cfg.ShuffleRatio > 0 && o.cfg.ShuffleRatio < 1 {
-			window = int64(float64(o.partitions)*o.cfg.ShuffleRatio + 0.5)
-			if window < 1 {
-				window = 1
-			}
-		}
+		window := o.shuffleWindow()
 		// Storage slots are only ever written here, so bracketing the
 		// partition writes with generation marks gives the persistence
 		// layer an exact consistency witness: started > completed on
@@ -82,33 +132,128 @@ func (o *ORAM) evictAndShuffle() error {
 			}
 			p := o.nextPart
 			o.nextPart = (o.nextPart + 1) % o.partitions
-			n, err := o.shufflePartition(p, pool, &poolIdx)
-			if err != nil {
+			if _, err := o.shufflePartition(p, pool, &poolIdx); err != nil {
 				return err
 			}
-			_ = n
 			shuffled++
 		}
 		o.stats.PartShuffled += shuffled
 		o.stats.Shuffles++
 
 		// Phase 3: fresh period state.
-		o.perm.ResetPeriod()
 		o.missCount = 0
-		o.storDev.ResetHead() // the next access is positioning-random
-		o.shuffleGen++
+		return o.endShufflePeriod()
+	})
+}
+
+// beginShuffle arms the incremental state machine. The new access
+// period's miss budget opens immediately: the loads issued by the
+// shuffle-mode cycles that follow fill the freshly emptied tree and
+// count against it, exactly as the first post-shuffle loads do in
+// monolithic mode.
+func (o *ORAM) beginShuffle() {
+	o.sm = shuffleState{active: true, window: o.shuffleWindow()}
+	o.missCount = 0
+}
+
+// shuffleQuantum executes one bounded slice of the in-flight period:
+// the first quantum is the oblivious tree evict into the trusted pool;
+// every later quantum rewrites exactly one partition, absorbing the
+// next piece of the pool. The bus shape of each quantum is fixed — a
+// sequential tree scan, or one sequential partition read + rewrite —
+// independent of the real/dummy mix, so spreading the period across
+// cycles reveals nothing the monolithic pass did not. Callers charge
+// it to the "shuffle" accounting bucket via serial.
+func (o *ORAM) shuffleQuantum() error {
+	o.inShuffle = true
+	defer func() { o.inShuffle = false }()
+	o.stats.ShuffleQuanta++
+
+	if !o.sm.evicted {
+		pool, err := o.evictTree()
+		if err != nil {
+			return err
+		}
+		o.sm.pool = pool
+		o.sm.poolAddr = make(map[int64]int, len(pool))
+		for i, b := range pool {
+			o.sm.poolAddr[b.Addr] = i
+		}
+		o.sm.evicted = true
 		if o.cfg.ShuffleMark != nil {
-			// Make the generation's writes durable before the marker
-			// declares them so.
-			if err := o.SyncStorage(); err != nil {
-				return err
-			}
-			if err := o.cfg.ShuffleMark(o.shuffleGen, true); err != nil {
+			if err := o.cfg.ShuffleMark(o.shuffleGen+1, false); err != nil {
 				return err
 			}
 		}
 		return nil
-	})
+	}
+
+	if o.sm.shuffled >= o.partitions && o.sm.poolIdx < len(o.sm.pool) {
+		return fmt.Errorf("horam: shuffle could not place %d evicted blocks", len(o.sm.pool)-o.sm.poolIdx)
+	}
+	p := o.nextPart
+	o.nextPart = (o.nextPart + 1) % o.partitions
+	before := o.sm.poolIdx
+	if _, err := o.shufflePartition(p, o.sm.pool, &o.sm.poolIdx); err != nil {
+		return err
+	}
+	// Blocks absorbed into the partition left the pool: requests for
+	// them are storage misses again, not pool hits.
+	for i := before; i < o.sm.poolIdx; i++ {
+		delete(o.sm.poolAddr, o.sm.pool[i].Addr)
+	}
+	o.sm.shuffled++
+
+	if o.sm.shuffled >= o.sm.window && o.sm.poolIdx >= len(o.sm.pool) {
+		o.stats.PartShuffled += o.sm.shuffled
+		o.stats.Shuffles++
+		o.sm = shuffleState{}
+		// The loads issued while the shuffle was in flight already
+		// belong to the new period, so missCount is NOT reset here —
+		// beginShuffle opened the new budget.
+		return o.endShufflePeriod()
+	}
+	return nil
+}
+
+// endShufflePeriod is the shared period epilogue: fresh touched-bit
+// state, a repositioned storage head, and the durable generation
+// marker (the generation's writes are synced before the marker
+// declares them durable).
+func (o *ORAM) endShufflePeriod() error {
+	o.perm.ResetPeriod()
+	o.storDev.ResetHead() // the next access is positioning-random
+	o.shuffleGen++
+	if o.cfg.ShuffleMark != nil {
+		if err := o.SyncStorage(); err != nil {
+			return err
+		}
+		if err := o.cfg.ShuffleMark(o.shuffleGen, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FinishShuffle drives the in-flight incremental shuffle to
+// completion, one quantum at a time (a no-op when none is pending).
+// Quiesce points use it: a snapshot must sit at a period boundary, and
+// finishing the pending quanta — rather than persisting the mid-flight
+// pool — keeps the on-disk generation-marker protocol exactly as the
+// monolithic mode defined it. Quanta run outside scheduler cycles
+// here, so the cycle counter does not move and a leveled multi-shard
+// engine stays leveled.
+func (o *ORAM) FinishShuffle() error {
+	if o.poisoned != nil {
+		return o.poisoned
+	}
+	for o.sm.active {
+		if err := o.serial("shuffle", o.shuffleQuantum); err != nil {
+			o.poison(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // shufflePartition reshuffles partition p, absorbing as much of the
@@ -162,10 +307,6 @@ func (o *ORAM) shufflePartition(p int64, pool []stash.Block, poolIdx *int) (int,
 
 	// Cache shuffle in trusted memory, then sequential write-back
 	// under a fresh intra-partition permutation.
-	items := make([][]byte, len(blocks))
-	for i := range blocks {
-		items[i] = blocks[i].data
-	}
 	permIdx := o.cfg.RNG.Perm(int(o.partSlots))
 	slotOfIdx := make(map[int64]int, len(blocks))
 	for i := range blocks {

@@ -78,6 +78,17 @@ type Config struct {
 	// of partitions reshuffled per period. 0 or 1 means full shuffle.
 	// With r < 1 partitions get 2x slack slots to absorb imbalance.
 	ShuffleRatio float64
+	// MonolithicShuffle runs each shuffle period as one stop-the-world
+	// pass inside the scheduler cycle that exhausts the miss budget —
+	// O(window·partition) device work in a single cycle. The default
+	// (false) is the deamortized pipeline: the period is split into
+	// bounded quanta (the tree evict, then one partition rewrite per
+	// shuffle-mode cycle), so the worst-case storage work any cycle
+	// performs is O(one partition) and requests keep being served
+	// while the shuffle progresses. Both modes produce identical
+	// logical results and identical per-period shuffle bus traffic;
+	// the differential and obliviousness tests assert both.
+	MonolithicShuffle bool
 	// BackgroundShuffle models the paper's §5.1 "non-shuffle case"
 	// (Figure 5-2): the shuffle runs off the critical path — offline,
 	// or on the remote server so it never crosses the network — and
@@ -160,6 +171,16 @@ type Stats struct {
 	Shuffles     int64 // shuffle periods completed
 	PartShuffled int64 // partitions reshuffled in total
 	EvictedReal  int64 // real blocks evicted from the tree across shuffles
+	// ShuffleQuanta counts incremental shuffle quanta executed (the
+	// tree evict and each partition rewrite count one). Zero in
+	// monolithic mode.
+	ShuffleQuanta int64
+	// MaxCycleTime is the device time charged by the costliest single
+	// scheduler cycle, including any shuffle work that ran inside it —
+	// the deamortization bound the incremental pipeline enforces. In
+	// monolithic mode the shuffle-triggering cycle absorbs the whole
+	// period, so this is the direct tail-latency witness.
+	MaxCycleTime time.Duration
 }
 
 // ORAM is an H-ORAM instance. Not safe for concurrent use; the
@@ -185,8 +206,11 @@ type ORAM struct {
 
 	missBudget int64 // storage loads allowed per access period (n/2)
 	missCount  int64 // loads so far this period
-	inShuffle  bool  // a shuffle period is executing
+	inShuffle  bool  // shuffle work (a full pass or one quantum) is executing
 	shuffleGen int64 // completed shuffle periods (the durability marker)
+
+	sm       shuffleState // incremental shuffle state machine
+	poisoned error        // sticky failure after a mid-flight shuffle error
 
 	rob   []*Request
 	stats Stats
@@ -201,6 +225,14 @@ type Request struct {
 	Data   []byte
 	Result []byte
 	User   int
+
+	// SubmitSim and DoneSim are the instance's virtual-clock readings
+	// when the request entered the ROB and when it completed; their
+	// difference is the request's simulated latency, including any
+	// shuffle work that ran in between. The latency benchmark reads
+	// them; the scheduler fills them on every request.
+	SubmitSim time.Duration
+	DoneSim   time.Duration
 
 	done bool
 }
@@ -365,9 +397,16 @@ func (o *ORAM) Accounting() *simclock.Accumulator { return o.acct }
 // Stats returns scheme-level counters.
 func (o *ORAM) Stats() Stats { return o.stats }
 
-// InShuffle reports whether a shuffle period is currently executing;
-// device hooks use it to classify observed traffic.
+// InShuffle reports whether shuffle work — a monolithic pass or one
+// incremental quantum — is currently executing; device hooks use it to
+// classify observed traffic.
 func (o *ORAM) InShuffle() bool { return o.inShuffle }
+
+// ShufflePending reports whether an incremental shuffle period is in
+// flight: quanta remain to be executed by upcoming scheduler cycles
+// (or by FinishShuffle). Always false in monolithic mode and between
+// periods.
+func (o *ORAM) ShufflePending() bool { return o.sm.active }
 
 // Partitions returns the storage partition count √N.
 func (o *ORAM) Partitions() int64 { return o.partitions }

@@ -2,6 +2,7 @@ package horam
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/posmap"
 	"repro/internal/snapshot"
@@ -17,14 +18,26 @@ import (
 // cycle boundary; internal/engine additionally levels shards first so
 // a multi-shard image is taken at cross-shard-equal cycle counts.
 //
+// A quiesce that lands mid-shuffle — the incremental state machine
+// still holds pending quanta — first drives the shuffle to completion
+// (FinishShuffle), so the image always sits at a period boundary and
+// the existing generation-marker protocol covers it; the mid-flight
+// trusted pool is never persisted.
+//
 // The caller owns sealing and the key-derivation Epoch field: the
 // stash rides in plaintext inside the returned struct.
 func (o *ORAM) CaptureSnapshot() (*snapshot.Shard, error) {
+	if o.poisoned != nil {
+		return nil, o.poisoned
+	}
 	if len(o.rob) > 0 {
 		return nil, fmt.Errorf("horam: snapshot with %d requests still queued", len(o.rob))
 	}
 	if o.inShuffle {
 		return nil, fmt.Errorf("horam: snapshot during a shuffle period")
+	}
+	if err := o.FinishShuffle(); err != nil {
+		return nil, err
 	}
 	leaves, stashBlocks, real, err := o.mem.ExportState()
 	if err != nil {
@@ -42,15 +55,17 @@ func (o *ORAM) CaptureSnapshot() (*snapshot.Shard, error) {
 		NextPart:   o.nextPart,
 		ShuffleGen: o.shuffleGen,
 		Stats: snapshot.Counters{
-			Requests:     o.stats.Requests,
-			Cycles:       o.stats.Cycles,
-			Misses:       o.stats.Misses,
-			Hits:         o.stats.Hits,
-			DummyIO:      o.stats.DummyIO,
-			DummyMemory:  o.stats.DummyMemory,
-			Shuffles:     o.stats.Shuffles,
-			PartShuffled: o.stats.PartShuffled,
-			EvictedReal:  o.stats.EvictedReal,
+			Requests:      o.stats.Requests,
+			Cycles:        o.stats.Cycles,
+			Misses:        o.stats.Misses,
+			Hits:          o.stats.Hits,
+			DummyIO:       o.stats.DummyIO,
+			DummyMemory:   o.stats.DummyMemory,
+			Shuffles:      o.stats.Shuffles,
+			PartShuffled:  o.stats.PartShuffled,
+			EvictedReal:   o.stats.EvictedReal,
+			ShuffleQuanta: o.stats.ShuffleQuanta,
+			MaxCycleNanos: int64(o.stats.MaxCycleTime),
 		},
 		Leaves:    leaves,
 		RealCount: real,
@@ -172,15 +187,17 @@ func (o *ORAM) install(s *snapshot.Shard) error {
 	o.nextPart = s.NextPart
 	o.shuffleGen = s.ShuffleGen
 	o.stats = Stats{
-		Requests:     s.Stats.Requests,
-		Cycles:       s.Stats.Cycles,
-		Misses:       s.Stats.Misses,
-		Hits:         s.Stats.Hits,
-		DummyIO:      s.Stats.DummyIO,
-		DummyMemory:  s.Stats.DummyMemory,
-		Shuffles:     s.Stats.Shuffles,
-		PartShuffled: s.Stats.PartShuffled,
-		EvictedReal:  s.Stats.EvictedReal,
+		Requests:      s.Stats.Requests,
+		Cycles:        s.Stats.Cycles,
+		Misses:        s.Stats.Misses,
+		Hits:          s.Stats.Hits,
+		DummyIO:       s.Stats.DummyIO,
+		DummyMemory:   s.Stats.DummyMemory,
+		Shuffles:      s.Stats.Shuffles,
+		PartShuffled:  s.Stats.PartShuffled,
+		EvictedReal:   s.Stats.EvictedReal,
+		ShuffleQuanta: s.Stats.ShuffleQuanta,
+		MaxCycleTime:  time.Duration(s.Stats.MaxCycleNanos),
 	}
 	return nil
 }

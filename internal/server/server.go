@@ -525,13 +525,14 @@ func (s *Server) statsLine() string {
 	ss := s.Stats()
 	var b strings.Builder
 	fmt.Fprintf(&b,
-		"OK requests=%d hits=%d misses=%d shuffles=%d simtime=%s shards=%d conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s shard_hist=%s",
-		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.SimTime, sum.Shards,
+		"OK requests=%d hits=%d misses=%d shuffles=%d quanta=%d max_cycle=%s simtime=%s shards=%d conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s shard_hist=%s",
+		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.Quanta, sum.MaxCycleTime, sum.SimTime, sum.Shards,
 		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch,
 		engine.FormatHist(ss.Histogram), engine.FormatHist(ss.ShardHistogram))
 	for _, sh := range ss.PerShard {
-		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_pad=%d s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
+		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_pad=%d s%d_quanta=%d s%d_maxcycle=%s s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
 			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.PadCycles,
+			sh.Shard, sh.ShuffleQuanta, sh.Shard, sh.MaxCycleTime,
 			sh.Shard, sh.Batches, sh.Shard, sh.Requests, sh.Shard, engine.FormatHist(sh.Hist))
 	}
 	return b.String()

@@ -449,8 +449,8 @@ func TestStatsLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"requests", "hits", "misses", "shuffles", "batches", "mean_batch", "conns", "hist",
-		"shards", "shard_hist", "s0_depth", "s0_cycles", "s0_pad", "s0_batches", "s0_hist", "s1_depth", "s1_hist"} {
+	for _, key := range []string{"requests", "hits", "misses", "shuffles", "quanta", "max_cycle", "batches", "mean_batch", "conns", "hist",
+		"shards", "shard_hist", "s0_depth", "s0_cycles", "s0_pad", "s0_quanta", "s0_maxcycle", "s0_batches", "s0_hist", "s1_depth", "s1_hist"} {
 		if _, ok := kv[key]; !ok {
 			t.Errorf("STATS missing %q (got %v)", key, kv)
 		}

@@ -139,15 +139,17 @@ func ReadFile(path string) ([]byte, error) {
 // (horam.Stats; duplicated here to keep the dependency arrow pointing
 // from the ORAM to its persistence format, not the other way).
 type Counters struct {
-	Requests     int64
-	Cycles       int64
-	Misses       int64
-	Hits         int64
-	DummyIO      int64
-	DummyMemory  int64
-	Shuffles     int64
-	PartShuffled int64
-	EvictedReal  int64
+	Requests      int64
+	Cycles        int64
+	Misses        int64
+	Hits          int64
+	DummyIO       int64
+	DummyMemory   int64
+	Shuffles      int64
+	PartShuffled  int64
+	EvictedReal   int64
+	ShuffleQuanta int64
+	MaxCycleNanos int64
 }
 
 // Shard is the complete control state of one H-ORAM instance at a
@@ -234,9 +236,14 @@ type Manifest struct {
 	Shards       int
 	MemoryBytes  int64
 	ShuffleRatio float64
-	Insecure     bool
-	Seed         string
-	Epoch        uint64
+	// MonolithicShuffle is echoed so an image persisted under one
+	// shuffle mode is not silently resumed under the other: the modes
+	// are state-compatible at period boundaries, but the operator's
+	// latency expectations (and any recorded baselines) are not.
+	MonolithicShuffle bool
+	Insecure          bool
+	Seed              string
+	Epoch             uint64
 }
 
 // Encode gob-encodes the manifest for WriteFile (after sealing).
