@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist persist-smoke fmt
+.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist bench-kv persist-smoke kv-smoke fmt
 
-ci: build vet fmt-check test race bench-smoke persist-smoke
+ci: build vet fmt-check test race bench-smoke persist-smoke kv-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench
+	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench ./internal/okv
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -30,6 +30,11 @@ bench-smoke:
 # -> restart -> read-back over real TCP and a real storage file.
 persist-smoke:
 	./scripts/persist_smoke.sh
+
+# KV acceptance gate: horamd -kv -data-dir start -> KSET/KGET/KDEL over
+# TCP -> SIGTERM -> restart from snapshot -> read the table back.
+kv-smoke:
+	./scripts/kv_smoke.sh
 
 # Full benchmark run (slow) — the reproduction's headline numbers.
 bench:
@@ -49,6 +54,11 @@ bench-latency:
 # file-backed storage device vs the in-memory simulator.
 bench-persist:
 	$(GO) run ./cmd/horam-bench -exp persist -out BENCH_persist.json
+
+# Regenerate the committed KV baseline (BENCH_kv.json): oblivious
+# key-value logical throughput vs shard count.
+bench-kv:
+	$(GO) run ./cmd/horam-bench -exp kv -out BENCH_kv.json
 
 fmt:
 	gofmt -w .

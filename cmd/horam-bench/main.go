@@ -17,6 +17,7 @@
 //	horam-bench -exp shard               # sharded-engine throughput vs shard count
 //	horam-bench -exp latency             # per-request tail latency, monolithic vs incremental shuffle
 //	horam-bench -exp persist             # file-backed storage vs in-memory simulator
+//	horam-bench -exp kv                  # oblivious key-value layer: logical ops/s vs shard count
 //
 // Absolute durations come from the calibrated device models (Table
 // 5-2); the claims under reproduction are the ratios.
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist, kv")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
@@ -217,6 +218,22 @@ func run(exp string, scale float64, crypto bool, reqs int, out string) error {
 		fmt.Println()
 		if exp == "persist" && out != "" {
 			if err := bench.WritePersistJSON(out, dev, rows, p); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if all || exp == "kv" {
+		ran = true
+		p := bench.DefaultKVParams()
+		rows, err := bench.RunKV([]int{1, 2, 4}, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatKV(rows, p))
+		fmt.Println()
+		if exp == "kv" && out != "" {
+			if err := bench.WriteKVJSON(out, rows, p); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", out)

@@ -30,6 +30,16 @@
 //	MULTI <n>\n + n lines        -> OK <n>\n + n lines | ERR <msg>\n
 //	STATS\n                      -> OK requests=<n> ... shards=<s> s0_depth=<n> s0_cycles=<n> ...\n
 //	QUIT\n                       -> closes the connection
+//
+// With -kv the daemon serves the oblivious key–value layer
+// (internal/okv) instead of raw block writes: KGET/KSET/KDEL run a
+// fixed-shape block pipeline over the engine, so hit, miss, insert,
+// update and delete are indistinguishable on the device bus; raw
+// WRITE is refused (the block space backs the table). The table and
+// its directory state ride the ordinary snapshot/restore protocol:
+//
+//	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4 -kv \
+//	       -kv-max-value 4096 -data-dir /var/lib/horamd
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/okv"
 	"repro/internal/server"
 )
 
@@ -62,6 +73,10 @@ func main() {
 	checkpoint := flag.Duration("checkpoint", time.Minute, "periodic control-state checkpoint interval with -data-dir (0 disables; a final checkpoint always runs on shutdown)")
 	fsync := flag.Int("fsync", 0, "storage fsync policy with -data-dir: 0 = at shuffle/checkpoint boundaries only, 1 = every write, n = every n-th write")
 	monolithic := flag.Bool("monolithic-shuffle", false, "run each shuffle period as one stop-the-world pass instead of the default deamortized per-cycle quanta (tail latency!)")
+	kv := flag.Bool("kv", false, "serve the oblivious key-value layer (KGET/KSET/KDEL; raw WRITE is disabled — the block space backs the table)")
+	kvMaxValue := flag.Int("kv-max-value", 4096, "KV value-length cap in bytes; fixes the per-op extent fan-out at ceil(cap/blocksize)")
+	kvSlots := flag.Int("kv-slots", okv.DefaultSlotsPerBucket, "KV slots per hash bucket (two-choice hashing)")
+	statsEvery := flag.Duration("stats-every", time.Minute, "periodic serving-stats log interval (0 disables)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -91,6 +106,7 @@ func main() {
 			log.Printf("horamd: restored %s at epoch %d", *dataDir, eng.Epoch())
 		}
 	}
+	restored := eng != nil
 	if eng == nil {
 		eng, err = engine.New(opts)
 		if err != nil {
@@ -101,11 +117,56 @@ func main() {
 		}
 	}
 
+	// The KV layer lays its table over the engine's whole block space;
+	// a restored image resumes the persisted directory state (refusing
+	// geometry drift), a fresh engine starts an empty table.
+	var store *okv.Store
+	if *kv {
+		// A value this large could never arrive: KSET frames the value
+		// in hex (2 line bytes per value byte) and the server caps one
+		// protocol line, so an at-cap KSET must fit under that ceiling
+		// or every client legitimately using the cap would tear its
+		// connection mid-stream.
+		if lineNeed := len("KSET ") + 2*(*blockSize) + 1 + 2*(*kvMaxValue); lineNeed > server.MaxLineBytes {
+			log.Fatalf("horamd: -kv-max-value %d cannot be served: an at-cap KSET line needs %d bytes, the protocol line limit is %d (max usable cap ≈ %d)",
+				*kvMaxValue, lineNeed, server.MaxLineBytes, (server.MaxLineBytes-len("KSET ")-2*(*blockSize)-1)/2)
+		}
+		kvOpts := okv.Options{
+			Backend:        eng,
+			SlotsPerBucket: *kvSlots,
+			MaxValueBytes:  *kvMaxValue,
+			Key:            key,
+		}
+		if restored {
+			store, err = okv.Resume(kvOpts, eng.RestoredKVState())
+		} else {
+			store, err = okv.New(kvOpts)
+		}
+		if err != nil {
+			log.Fatalf("horamd: %v", err)
+		}
+		log.Printf("horamd: kv layer: %d buckets x %d slots (capacity %d keys), value cap %d B, %d live keys",
+			store.Buckets(), store.SlotsPerBucket(), store.Capacity(), store.MaxValueBytes(), store.Len())
+	} else if restored && eng.RestoredKVState() != nil {
+		log.Printf("horamd: WARNING: restored image carries a KV table but -kv is off; raw WRITE traffic will corrupt it")
+	}
+
+	// checkpoint saves the engine image — through the KV layer's
+	// operation lock when it is enabled, so the persisted directory
+	// state never straddles a half-finished KV op.
+	checkpointNow := func() error {
+		if store != nil {
+			return store.Checkpoint(eng.SaveSnapshotKV)
+		}
+		return eng.SaveSnapshot()
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:      eng,
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		MaxConns:    *maxConns,
+		KV:          store,
 		Logf:        log.Printf,
 	})
 	if err != nil {
@@ -119,8 +180,12 @@ func main() {
 	if *monolithic {
 		shuffleMode = "monolithic"
 	}
-	log.Printf("horamd: serving %d x %d B blocks on %s (%d shards, %s shuffle, batch window %v, max batch %d, max conns %d)",
-		*blocks, *blockSize, ln.Addr(), eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
+	mode := "block store"
+	if store != nil {
+		mode = "kv store"
+	}
+	log.Printf("horamd: serving %d x %d B blocks on %s as a %s (%d shards, %s shuffle, batch window %v, max batch %d, max conns %d)",
+		*blocks, *blockSize, ln.Addr(), mode, eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
 
 	// Periodic checkpoints keep the recoverable image fresh; a hard
 	// crash loses at most one interval of writes.
@@ -137,12 +202,45 @@ func main() {
 			select {
 			case <-ticker.C:
 				start := time.Now()
-				if err := eng.SaveSnapshot(); err != nil {
+				if err := checkpointNow(); err != nil {
 					log.Printf("horamd: checkpoint failed: %v", err)
 				} else {
 					log.Printf("horamd: checkpoint saved in %v", time.Since(start).Round(time.Millisecond))
 				}
 			case <-ckptStop:
+				return
+			}
+		}
+	}()
+
+	// Periodic serving-stats log: the observable heartbeat operators
+	// watch — requests, batching quality, and (in KV mode) the
+	// kv_gets/kv_sets/kv_dels/kv_misses counters.
+	statsStop := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		if *statsEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := srv.Stats()
+				if st.KV != nil {
+					// KV verbs bypass the block batcher, so the server's
+					// window counters would read as an idle daemon here;
+					// the KV counters are the real traffic.
+					log.Printf("horamd: stats: kv_ops=%d kv_count=%d kv_gets=%d kv_sets=%d kv_dels=%d kv_misses=%d block_requests=%d conns=%d active=%d",
+						st.KV.Gets+st.KV.Sets+st.KV.Dels, st.KV.Count, st.KV.Gets, st.KV.Sets, st.KV.Dels, st.KV.Misses,
+						st.Requests, st.Accepted, st.Active)
+				} else {
+					log.Printf("horamd: stats: requests=%d conns=%d active=%d batches=%d mean_batch=%.2f",
+						st.Requests, st.Accepted, st.Active, st.Batches, st.MeanBatch)
+				}
+			case <-statsStop:
 				return
 			}
 		}
@@ -162,11 +260,13 @@ func main() {
 	}
 	close(ckptStop)
 	<-ckptDone
+	close(statsStop)
+	<-statsDone
 
 	// Save-on-shutdown: the server is closed (no traffic), so this
 	// snapshot captures the final state and a restart loses nothing.
 	if *dataDir != "" {
-		if err := eng.SaveSnapshot(); err != nil {
+		if err := checkpointNow(); err != nil {
 			log.Printf("horamd: final checkpoint failed: %v", err)
 		} else {
 			log.Printf("horamd: final checkpoint saved to %s", *dataDir)
@@ -175,8 +275,14 @@ func main() {
 
 	st := srv.Stats()
 	sum := eng.Stats()
-	log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",
-		st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
+	if st.KV != nil {
+		log.Printf("horamd: served %d kv ops (%d gets, %d sets, %d dels, %d misses; %d/%d live keys) + %d raw block requests over %d connections",
+			st.KV.Gets+st.KV.Sets+st.KV.Dels, st.KV.Gets, st.KV.Sets, st.KV.Dels, st.KV.Misses,
+			st.KV.Count, st.KV.Capacity, st.Requests, st.Accepted)
+	} else {
+		log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",
+			st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
+	}
 	log.Printf("horamd: engine: shards=%d hits=%d misses=%d shuffles=%d cycles=%d padded=%d simtime=%s",
 		sum.Shards, sum.Hits, sum.Misses, sum.Shuffles, sum.Cycles, sum.Padded, sum.SimTime.Round(time.Millisecond))
 	for _, sh := range st.PerShard {

@@ -1,118 +1,93 @@
-// kvstore builds a small oblivious key-value store on top of the
-// H-ORAM block interface — the kind of outsourced-database workload
-// the paper's introduction motivates (searchable storage whose access
-// pattern must not leak which records are popular).
+// kvstore demonstrates the oblivious key–value subsystem
+// (internal/okv) over the sharded H-ORAM engine — the
+// outsourced-database workload the paper's introduction motivates:
+// storage whose access pattern must not reveal which records are
+// popular.
 //
-// Keys are hashed to block addresses (open addressing, linear
-// probing); every block stores key-length, key, value-length, value.
+// An earlier version of this example hand-rolled a linear-probing
+// hash table over the block store. That leaked: a lookup walked the
+// key's collision chain, so the NUMBER of ORAM operations depended on
+// the key and the table's occupancy — a full-table insert burned up
+// to 2048 sequential reads before failing, and a popular key's chain
+// length was visible in the op count even though each individual
+// access was hidden. internal/okv closes exactly that channel: every
+// GET/SET/DEL issues one identical fixed pipeline of block batches
+// (asserted live below), whatever the key, the occupancy, the value
+// size, or whether the op hits, misses, inserts, updates or deletes.
 //
 //	go run ./examples/kvstore
 package main
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/okv"
 )
 
-const (
-	tableBlocks = 2048
-	blockSize   = 256
-)
-
-// kv is the oblivious hash table.
-type kv struct {
-	store core.Store
+// countingBackend wraps the engine and tallies the block requests of
+// each backend batch, so the demo can PROVE the fixed shape instead
+// of asserting it rhetorically.
+type countingBackend struct {
+	*engine.Engine
+	batches []int // request count per batch since the last reset
 }
 
-// put inserts or updates a key. Linear probing over the (oblivious)
-// block store: the adversary sees indistinguishable ORAM accesses
-// regardless of which bucket chain is walked.
-func (s *kv) put(key, value string) error {
-	if 4+len(key)+4+len(value) > blockSize {
-		return fmt.Errorf("kv: entry %q too large", key)
-	}
-	h := addrOf(key)
-	for probe := int64(0); probe < tableBlocks; probe++ {
-		addr := (h + probe) % tableBlocks
-		blk, err := s.store.Read(addr)
-		if err != nil {
-			return err
-		}
-		k, _ := decode(blk)
-		if k != "" && k != key {
-			continue // occupied by another key
-		}
-		return s.store.Write(addr, encode(key, value))
-	}
-	return fmt.Errorf("kv: table full")
+func (c *countingBackend) Batch(reqs []*core.Request) error {
+	c.batches = append(c.batches, len(reqs))
+	return c.Engine.Batch(reqs)
 }
 
-// get looks a key up, returning ok=false when absent.
-func (s *kv) get(key string) (string, bool, error) {
-	h := addrOf(key)
-	for probe := int64(0); probe < tableBlocks; probe++ {
-		addr := (h + probe) % tableBlocks
-		blk, err := s.store.Read(addr)
-		if err != nil {
-			return "", false, err
-		}
-		k, v := decode(blk)
-		if k == "" {
-			return "", false, nil // hit an empty slot: absent
-		}
-		if k == key {
-			return v, true, nil
-		}
-	}
-	return "", false, nil
-}
-
-func addrOf(key string) int64 {
-	sum := sha256.Sum256([]byte(key))
-	return int64(binary.BigEndian.Uint64(sum[:8]) % uint64(tableBlocks))
-}
-
-func encode(key, value string) []byte {
-	out := make([]byte, blockSize)
-	binary.BigEndian.PutUint32(out[0:], uint32(len(key)))
-	copy(out[4:], key)
-	off := 4 + len(key)
-	binary.BigEndian.PutUint32(out[off:], uint32(len(value)))
-	copy(out[off+4:], value)
+func (c *countingBackend) take() []int {
+	out := c.batches
+	c.batches = nil
 	return out
 }
 
-func decode(blk []byte) (key, value string) {
-	kl := binary.BigEndian.Uint32(blk[0:])
-	if kl == 0 || int(kl) > blockSize-8 {
-		return "", ""
-	}
-	key = string(blk[4 : 4+kl])
-	off := 4 + int(kl)
-	vl := binary.BigEndian.Uint32(blk[off:])
-	if int(vl) > blockSize-off-4 {
-		return "", ""
-	}
-	value = string(blk[off+4 : off+4+int(vl)])
-	return key, value
-}
-
 func main() {
-	client, err := core.Open(core.Options{
-		Blocks:      tableBlocks,
-		BlockSize:   blockSize,
+	eng, err := engine.New(engine.Options{
+		Blocks:      1536,
+		BlockSize:   256,
 		MemoryBytes: 64 << 10,
 		Key:         bytes.Repeat([]byte{7}, 32),
+		Shards:      2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := &kv{store: client}
+	defer eng.Close()
+
+	be := &countingBackend{Engine: eng}
+	store, err := okv.New(okv.Options{
+		Backend:       be,
+		MaxValueBytes: 512,
+		Key:           bytes.Repeat([]byte{7}, 32),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	shape := store.Shape()
+	wantBatches := []int{shape.LookupReads, shape.ExtentReads, shape.Writes}
+	fmt.Printf("table: capacity %d keys, value cap %d B\n", store.Capacity(), store.MaxValueBytes())
+	fmt.Printf("fixed op shape: %d slot reads + %d extent reads + %d writes, every op\n\n",
+		shape.LookupReads, shape.ExtentReads, shape.Writes)
+
+	// assertShape verifies an op issued exactly the fixed pipeline.
+	assertShape := func(op string) {
+		got := be.take()
+		if len(got) != len(wantBatches) {
+			log.Fatalf("%s issued %d batches %v, want %v — shape leak!", op, len(got), got, wantBatches)
+		}
+		for i := range got {
+			if got[i] != wantBatches[i] {
+				log.Fatalf("%s batch %d carried %d requests, want %d — shape leak!", op, i, got[i], wantBatches[i])
+			}
+		}
+	}
 
 	records := map[string]string{
 		"alice":   "patient file #1842",
@@ -123,23 +98,28 @@ func main() {
 		"mallory": "flagged for review",
 	}
 	for k, v := range records {
-		if err := store.put(k, v); err != nil {
+		if err := store.Set([]byte(k), []byte(v)); err != nil {
 			log.Fatal(err)
 		}
+		assertShape("SET " + k)
 	}
 	fmt.Printf("inserted %d records into the oblivious table\n", len(records))
 
-	// Popular key hammered: the ORAM hides that "alice" is hot.
+	// Popular key hammered: the op count per access is constant, so
+	// the bus cannot tell "alice" is hot.
 	for i := 0; i < 20; i++ {
-		if _, _, err := store.get("alice"); err != nil {
-			log.Fatal(err)
+		if _, ok, err := store.Get([]byte("alice")); err != nil || !ok {
+			log.Fatalf("hot get %d: ok=%v err=%v", i, ok, err)
 		}
+		assertShape("GET alice")
 	}
+
 	for _, k := range []string{"alice", "mallory", "nobody"} {
-		v, ok, err := store.get(k)
+		v, ok, err := store.Get([]byte(k))
 		if err != nil {
 			log.Fatal(err)
 		}
+		assertShape("GET " + k)
 		if ok {
 			fmt.Printf("get(%-7s) = %q\n", k, v)
 		} else {
@@ -147,8 +127,22 @@ func main() {
 		}
 	}
 
-	st := client.Stats()
-	fmt.Printf("\nORAM served %d requests (%d hits, %d misses, %d shuffles)\n",
-		st.Requests, st.Hits, st.Misses, st.Shuffles)
-	fmt.Println("an observer of the storage bus cannot tell alice was read 21 times")
+	// Delete — present and absent both run the identical pipeline.
+	for _, k := range []string{"mallory", "mallory"} {
+		existed, err := store.Del([]byte(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		assertShape("DEL " + k)
+		fmt.Printf("del(%-7s) existed=%v\n", k, existed)
+	}
+
+	st := store.Stats()
+	sum := eng.Stats()
+	fmt.Printf("\nkv: %d live keys, %d gets, %d sets, %d dels, %d misses\n",
+		st.Count, st.Gets, st.Sets, st.Dels, st.Misses)
+	fmt.Printf("engine: %d block requests, %d hits, %d misses, %d shuffles across %d shards\n",
+		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.Shards)
+	fmt.Println("every op above issued the identical block pipeline: an observer of the")
+	fmt.Println("storage bus cannot tell alice was read 21 times, nor a hit from a miss")
 }

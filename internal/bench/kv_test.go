@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestKVSimThroughputScales is the acceptance gate for the KV layer's
+// shard scaling: logical KV throughput on the deployment-model metric
+// must keep most of the engine's shard gain — at least 1.5x from 1 to
+// 4 shards on this small geometry — and the workload must exercise
+// every verb. The virtual clocks make the ratio deterministic.
+func TestKVSimThroughputScales(t *testing.T) {
+	p := KVParams{
+		Blocks:         4096,
+		BlockSize:      128,
+		MemBytes:       1 << 20,
+		SlotsPerBucket: 2,
+		MaxValueBytes:  256,
+		SeedKeys:       128,
+		Ops:            256,
+		Workers:        8,
+		Seed:           "kv-scaling-test",
+	}
+	rows, err := RunKV([]int{1, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, four := rows[0], rows[1]
+	// The gain comes from concurrent pipelines coalescing in the
+	// combiner; the race detector's uneven goroutine slowdown starves
+	// that coalescing, so under -race only sanity is asserted (the
+	// race job is about races, not throughput).
+	wantGain := 1.5
+	if raceEnabled {
+		wantGain = 1.0
+	}
+	if four.SimTput < wantGain*one.SimTput {
+		t.Fatalf("4 shards: %.1f sim ops/s vs 1 shard: %.1f — %.2fx, want >= %.1fx",
+			four.SimTput, one.SimTput, four.SimTput/one.SimTput, wantGain)
+	}
+	for _, r := range rows {
+		if r.Gets == 0 || r.Sets == 0 || r.Dels == 0 {
+			t.Fatalf("shards=%d: workload skipped a verb: %+v", r.Shards, r)
+		}
+		if want := 2*p.SlotsPerBucket + 2*((p.MaxValueBytes+p.BlockSize-1)/p.BlockSize) + 1; r.BlocksPerOp != want {
+			t.Fatalf("shards=%d: blocks/op = %d, want %d", r.Shards, r.BlocksPerOp, want)
+		}
+	}
+	t.Logf("kv sim throughput: 1 shard %.1f ops/s, 4 shards %.1f ops/s (%.2fx)",
+		one.SimTput, four.SimTput, four.SimTput/one.SimTput)
+}
+
+// BenchmarkKVOps measures wall-clock logical KV operations on a small
+// single-shard store (the CI bench smoke runs this once).
+func BenchmarkKVOps(b *testing.B) {
+	p := KVParams{
+		Blocks:         2048,
+		BlockSize:      128,
+		MemBytes:       512 << 10,
+		SlotsPerBucket: 2,
+		MaxValueBytes:  128,
+		SeedKeys:       32,
+		Ops:            64,
+		Seed:           "kv-bench-bm",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runKVOne(1, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled mirrors the -race build flag for tests whose throughput
+// assertions depend on goroutine scheduling density (the race
+// detector slows goroutines unevenly, which starves opportunistic
+// batching).
+const raceEnabled = false

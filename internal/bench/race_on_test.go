@@ -1,0 +1,6 @@
+//go:build race
+
+package bench
+
+// raceEnabled mirrors the -race build flag; see race_off_test.go.
+const raceEnabled = true

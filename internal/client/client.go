@@ -260,6 +260,65 @@ func (c *Client) Batch(ops []Op) ([]Result, error) {
 	return out, nil
 }
 
+// KGet looks a key up in the server's oblivious key–value layer
+// (horamd -kv), returning ok=false when the key is absent. Concurrent
+// callers pipeline exactly like Read/Write.
+func (c *Client) KGet(key []byte) (value []byte, ok bool, err error) {
+	lines, err := c.do(0, "KGET "+hex.EncodeToString(key))
+	if err != nil {
+		return nil, false, err
+	}
+	line := lines[0]
+	switch {
+	case line == "MISS":
+		return nil, false, nil
+	case line == "OK":
+		return []byte{}, true, nil
+	case strings.HasPrefix(line, "OK "):
+		v, err := hex.DecodeString(strings.TrimPrefix(line, "OK "))
+		if err != nil {
+			return nil, false, fmt.Errorf("client: bad KGET payload: %w", err)
+		}
+		return v, true, nil
+	default:
+		return nil, false, errors.New("client: " + strings.TrimPrefix(line, "ERR "))
+	}
+}
+
+// KSet inserts or updates a key in the server's oblivious key–value
+// layer. Value-length and key-length caps are enforced server-side
+// (okv.ErrValueTooLarge / okv.ErrKeyInvalid surface as ERR lines); a
+// full table surfaces okv.ErrTableFull's message.
+func (c *Client) KSet(key, value []byte) error {
+	line := "KSET " + hex.EncodeToString(key)
+	if len(value) > 0 {
+		line += " " + hex.EncodeToString(value)
+	}
+	lines, err := c.do(0, line)
+	if err != nil {
+		return err
+	}
+	return parseOKLine(lines[0])
+}
+
+// KDel removes a key from the server's oblivious key–value layer,
+// reporting whether it existed. Deleting an absent key is not an
+// error (and, server-side, runs the same fixed access shape).
+func (c *Client) KDel(key []byte) (existed bool, err error) {
+	lines, err := c.do(0, "KDEL "+hex.EncodeToString(key))
+	if err != nil {
+		return false, err
+	}
+	switch lines[0] {
+	case "OK 1":
+		return true, nil
+	case "OK 0":
+		return false, nil
+	default:
+		return false, errors.New("client: " + strings.TrimPrefix(lines[0], "ERR "))
+	}
+}
+
 // Stats fetches the server's STATS line parsed into key=value pairs.
 func (c *Client) Stats() (map[string]string, error) {
 	lines, err := c.do(0, "STATS")

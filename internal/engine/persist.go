@@ -93,7 +93,18 @@ func (e *Engine) Epoch() uint64 { return e.manifest.Epoch }
 // (in-flight batches finish, new ones wait), levels every shard to the
 // maximum cycle count, saves each shard's control snapshot, and
 // finally writes the manifest. Restore resumes exactly this image.
-func (e *Engine) SaveSnapshot() error {
+// Any KV state previously set (SaveSnapshotKV) or restored is carried
+// forward unchanged.
+func (e *Engine) SaveSnapshot() error { return e.SaveSnapshotKV(nil) }
+
+// SaveSnapshotKV is SaveSnapshot with the oblivious key–value
+// subsystem's directory state embedded in the manifest, so the KV
+// geometry and counters are persisted at the same checkpoint cut as
+// the shard images. okv.Store.Checkpoint is the intended caller — it
+// holds the KV operation lock across the save, so the embedded state
+// can never sit between the batches of a half-finished KV op. A nil
+// kv preserves whatever KV state the manifest already carries.
+func (e *Engine) SaveSnapshotKV(kv *snapshot.KVState) error {
 	if e.dataDir == "" {
 		return errors.New("engine: SaveSnapshot requires Options.DataDir")
 	}
@@ -104,6 +115,9 @@ func (e *Engine) SaveSnapshot() error {
 	e.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	if kv != nil {
+		e.manifest.KV = kv // under pause: serialised against other saves
 	}
 	// Level first: the image must show S identical cycle counts, so
 	// persistence adds no cross-shard traffic-volume channel beyond
@@ -191,5 +205,20 @@ func Restore(opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("engine: restore option mismatch: %s is %v but the persisted image was built with %v", m.name, m.got, m.want)
 		}
 	}
-	return assemble(opts, true)
+	e, err := assemble(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	// Carry the KV directory state forward: okv.Resume reads it via
+	// RestoredKVState, and a later SaveSnapshot without explicit KV
+	// state re-persists it instead of silently dropping the table's
+	// record.
+	e.manifest.KV = man.KV
+	return e, nil
 }
+
+// RestoredKVState returns the oblivious key–value directory state the
+// restored manifest carried, or nil when the image belongs to a raw
+// block store (fresh engines always return nil). okv.Resume validates
+// its geometry and adopts its counters.
+func (e *Engine) RestoredKVState() *snapshot.KVState { return e.manifest.KV }

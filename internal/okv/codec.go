@@ -1,0 +1,150 @@
+// Slot-block codec and table layout. A slot block is the directory
+// record of one (bucket, slot) pair; the value bytes themselves never
+// live here — they occupy the slot's fixed extent run — so the record
+// is pure metadata: an occupancy flag, the key, and the value length.
+//
+//	[0]        flags: slotEmpty (0x00) or slotOccupied (0x01)
+//	[1:3]      key length, big endian
+//	[3:7]      value length, big endian
+//	[7:7+klen] key bytes
+//	rest       zeros
+//
+// A never-written ORAM block reads back as all zeros, which decodes as
+// a valid empty slot — the table needs no initialisation pass. Decode
+// refuses structurally impossible inputs (unknown flags, lengths out
+// of range, a non-canonical empty record) instead of guessing: the
+// block store authenticates its contents, so a malformed slot means
+// the table layout itself was damaged (e.g. raw WRITE traffic landed
+// inside the KV region) and continuing would corrupt it further.
+package okv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// slotHeaderLen is the fixed metadata prefix of a slot block.
+const slotHeaderLen = 1 + 2 + 4
+
+// Slot flag values.
+const (
+	slotEmpty    = 0x00
+	slotOccupied = 0x01
+)
+
+// ErrCorruptSlot is returned (wrapped) when a slot block read from the
+// store fails to decode. It indicates table damage, not a caller
+// error.
+var ErrCorruptSlot = errors.New("okv: corrupt slot block")
+
+// slotEntry is the decoded form of a slot block.
+type slotEntry struct {
+	occupied bool
+	key      []byte
+	valLen   int
+}
+
+// layout is the static table geometry: how buckets, slots and extent
+// runs map onto the backend's flat block address space.
+//
+//	[0, buckets*slots)        one slot block per (bucket, slot)
+//	[buckets*slots, ...)      extents extent blocks per slot, in slot
+//	                          index order
+//
+// Trailing backend blocks that do not fit a whole slot are unused.
+type layout struct {
+	buckets   int64
+	slots     int // slots per bucket
+	extents   int // extent blocks per slot
+	blockSize int
+	maxKey    int
+	maxValue  int
+}
+
+// slotIndex flattens (bucket, slot) into the global slot index.
+func (l layout) slotIndex(bucket int64, slot int) int64 {
+	return bucket*int64(l.slots) + int64(slot)
+}
+
+// slotAddr is the block address of a slot's directory record.
+func (l layout) slotAddr(slotIndex int64) int64 { return slotIndex }
+
+// extentAddr is the block address of extent j of a slot.
+func (l layout) extentAddr(slotIndex int64, j int) int64 {
+	return l.buckets*int64(l.slots) + slotIndex*int64(l.extents) + int64(j)
+}
+
+// blocksPerSlot is the backend capacity one slot consumes.
+func (l layout) blocksPerSlot() int64 { return 1 + int64(l.extents) }
+
+// encodeSlot renders an occupied slot record into a fresh block-size
+// buffer. The caller has already validated key and valLen against the
+// layout's caps.
+func (l layout) encodeSlot(key []byte, valLen int) []byte {
+	b := make([]byte, l.blockSize)
+	b[0] = slotOccupied
+	binary.BigEndian.PutUint16(b[1:3], uint16(len(key)))
+	binary.BigEndian.PutUint32(b[3:7], uint32(valLen))
+	copy(b[slotHeaderLen:], key)
+	return b
+}
+
+// decodeSlot parses a slot block. The key slice aliases b.
+func (l layout) decodeSlot(b []byte) (slotEntry, error) {
+	if len(b) != l.blockSize {
+		return slotEntry{}, fmt.Errorf("%w: %d bytes, want %d", ErrCorruptSlot, len(b), l.blockSize)
+	}
+	klen := int(binary.BigEndian.Uint16(b[1:3]))
+	vlen := int(binary.BigEndian.Uint32(b[3:7]))
+	switch b[0] {
+	case slotEmpty:
+		if klen != 0 || vlen != 0 {
+			return slotEntry{}, fmt.Errorf("%w: empty flag with key length %d, value length %d", ErrCorruptSlot, klen, vlen)
+		}
+		return slotEntry{}, nil
+	case slotOccupied:
+		if klen < 1 || klen > l.maxKey || slotHeaderLen+klen > l.blockSize {
+			return slotEntry{}, fmt.Errorf("%w: key length %d out of [1,%d]", ErrCorruptSlot, klen, l.maxKey)
+		}
+		if vlen > l.maxValue {
+			return slotEntry{}, fmt.Errorf("%w: value length %d exceeds cap %d", ErrCorruptSlot, vlen, l.maxValue)
+		}
+		return slotEntry{occupied: true, key: b[slotHeaderLen : slotHeaderLen+klen], valLen: vlen}, nil
+	default:
+		return slotEntry{}, fmt.Errorf("%w: unknown flag byte 0x%02x", ErrCorruptSlot, b[0])
+	}
+}
+
+// encodeValue splits a value into the slot's fixed extent run: exactly
+// l.extents blocks, zero-padded — extent traffic is independent of the
+// actual value length.
+func (l layout) encodeValue(value []byte) [][]byte {
+	out := make([][]byte, l.extents)
+	for j := range out {
+		blk := make([]byte, l.blockSize)
+		off := j * l.blockSize
+		if off < len(value) {
+			copy(blk, value[off:])
+		}
+		out[j] = blk
+	}
+	return out
+}
+
+// decodeValue reassembles a value of length valLen from its extent
+// blocks.
+func (l layout) decodeValue(ext [][]byte, valLen int) []byte {
+	out := make([]byte, 0, valLen)
+	for _, blk := range ext {
+		if len(out) >= valLen {
+			break
+		}
+		n := valLen - len(out)
+		if n > len(blk) {
+			n = len(blk)
+		}
+		out = append(out, blk[:n]...)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Obliviousness regressions for the KV layer, at two levels.
+//
+// Level 1 (block-batch shape): every logical operation must issue the
+// SAME fixed pipeline of block batches — same batch count, same batch
+// sizes, same read/write mix, in the same order — whatever the op
+// kind (GET-hit, GET-miss, SET-insert, SET-update, DEL-present,
+// DEL-absent, SET-into-full-table) and whatever the key, occupancy or
+// value length. This is the property the old examples/kvstore
+// violated: its linear probing issued a collision-chain-dependent
+// number of ORAM reads, so op counts leaked key popularity and table
+// structure.
+//
+// Level 2 (device trace): two adversarially different KV workloads
+// with the same op count must present the identical complete
+// (device, op) event sequence — access cycles and shuffle quanta,
+// storage and memory tiers, unfiltered — once both runs are padded to
+// the common cycle count, exactly as the engine-level
+// TestFullTraceWorkloadIndependent establishes for raw block
+// traffic. Combined with level 1 (every op contributes the same
+// request counts), the device trace of a KV workload is a function of
+// its op count alone; the only residual is the total cycle count, the
+// same quantity any single client of the block store already reveals.
+package okv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/horam"
+	"repro/internal/trace"
+)
+
+// batchSig is the adversary-relevant signature of one backend batch:
+// how many reads and how many writes it carried. (Addresses are
+// hidden by the ORAM; the batch structure is what the KV layer could
+// leak on its own.)
+type batchSig struct {
+	reads, writes int
+}
+
+// recordingBackend wraps a Backend and records every batch's
+// signature.
+type recordingBackend struct {
+	Backend
+	batches []batchSig
+}
+
+func (r *recordingBackend) Batch(reqs []*core.Request) error {
+	var sig batchSig
+	for _, q := range reqs {
+		if q.Op == core.OpWrite {
+			sig.writes++
+		} else {
+			sig.reads++
+		}
+	}
+	r.batches = append(r.batches, sig)
+	return r.Backend.Batch(reqs)
+}
+
+// take drains the recorded signatures.
+func (r *recordingBackend) take() []batchSig {
+	out := r.batches
+	r.batches = nil
+	return out
+}
+
+// TestOpShapeInvariant drives every operation kind through stores at
+// shard counts 1, 2 and 4 and asserts each op issued the identical
+// fixed pipeline.
+func TestOpShapeInvariant(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := testEngine(t, shards, fmt.Sprintf("okv-shape-%d", shards))
+			rec := &recordingBackend{Backend: e}
+			s, err := New(Options{
+				Backend:        rec,
+				SlotsPerBucket: 2,
+				MaxValueBytes:  64,
+				Insecure:       true,
+				Seed:           "okv-test",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := s.Shape()
+
+			type step struct {
+				name string
+				run  func() error
+			}
+			steps := []step{
+				{"GET-miss", func() error { _, _, err := s.Get([]byte("absent")); return err }},
+				{"SET-insert", func() error { return s.Set([]byte("alice"), []byte("v1")) }},
+				{"SET-update", func() error { return s.Set([]byte("alice"), []byte("a long replacement value")) }},
+				{"GET-hit", func() error { _, _, err := s.Get([]byte("alice")); return err }},
+				{"GET-hit-empty-value", func() error {
+					if err := s.Set([]byte("bob"), nil); err != nil {
+						return err
+					}
+					rec.take() // the helper SET is its own op; judge only the GET
+					_, _, err := s.Get([]byte("bob"))
+					return err
+				}},
+				{"DEL-present", func() error { _, err := s.Del([]byte("alice")); return err }},
+				{"DEL-absent", func() error { _, err := s.Del([]byte("alice")); return err }},
+			}
+			for _, st := range steps {
+				rec.take()
+				if err := st.run(); err != nil {
+					t.Fatalf("%s: %v", st.name, err)
+				}
+				sigs := rec.take()
+				expect := []batchSig{
+					{reads: want.LookupReads},
+					{reads: want.ExtentReads},
+					{writes: want.Writes},
+				}
+				if len(sigs) != len(expect) {
+					t.Fatalf("%s issued %d batches %v, want %d %v — the op shape depends on the outcome",
+						st.name, len(sigs), sigs, len(expect), expect)
+				}
+				for i := range expect {
+					if sigs[i] != expect[i] {
+						t.Fatalf("%s batch %d = %+v, want %+v — the op shape depends on the outcome",
+							st.name, i, sigs[i], expect[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFullTableSetKeepsShape extends the shape invariant to the
+// refusal path: a SET into a table whose candidate buckets are all
+// occupied must run the complete fixed pipeline before returning
+// ErrTableFull — an early return would make refusals distinguishable
+// on the bus.
+func TestFullTableSetKeepsShape(t *testing.T) {
+	e, err := engine.New(engine.Options{
+		Blocks:      8,
+		BlockSize:   32,
+		MemoryBytes: 1 << 10,
+		Insecure:    true,
+		Seed:        "okv-full-shape",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rec := &recordingBackend{Backend: e}
+	s, err := New(Options{Backend: rec, SlotsPerBucket: 2, MaxValueBytes: 16, Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullSigs []batchSig
+	for i := 0; i < 16 && fullSigs == nil; i++ {
+		rec.take()
+		err := s.Set([]byte(fmt.Sprintf("fill-%d", i)), []byte{byte(i)})
+		sigs := rec.take()
+		if err != nil {
+			fullSigs = sigs
+		} else if len(sigs) != 3 {
+			t.Fatalf("successful SET issued %d batches", len(sigs))
+		}
+	}
+	if fullSigs == nil {
+		t.Fatal("table never filled")
+	}
+	want := s.Shape()
+	expect := []batchSig{{reads: want.LookupReads}, {reads: want.ExtentReads}, {writes: want.Writes}}
+	if len(fullSigs) != 3 || fullSigs[0] != expect[0] || fullSigs[1] != expect[1] || fullSigs[2] != expect[2] {
+		t.Fatalf("full-table SET issued %v, want %v — the refusal is visible in the access shape", fullSigs, expect)
+	}
+}
+
+// TestKVFullTraceWorkloadIndependent is the acceptance property: two
+// adversarially different KV workloads of the same op count — a hot
+// single key hammered with GET-hits versus a churn of inserts,
+// deletes and misses over distinct keys — must present the identical
+// complete (device, op) event sequence on every shard, storage and
+// memory tiers, shuffle quanta included, once both engines are padded
+// to the common cycle count.
+func TestKVFullTraceWorkloadIndependent(t *testing.T) {
+	const shards = 2
+	build := func() (*engine.Engine, *Store, []*trace.Recorder) {
+		e, err := engine.New(engine.Options{
+			Blocks:      1024,
+			BlockSize:   64,
+			MemoryBytes: 16 << 10,
+			Insecure:    true,
+			Seed:        "okv-full-trace",
+			Shards:      shards,
+			Stages:      []horam.Stage{{C: 3, Frac: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		recs := make([]*trace.Recorder, shards)
+		for i := 0; i < shards; i++ {
+			rec := trace.NewRecorder()
+			h := rec.Hook()
+			e.Shard(i).Engine().Stor().SetHook(h)
+			e.Shard(i).Engine().Mem().SetHook(h)
+			recs[i] = rec
+		}
+		s, err := New(Options{
+			Backend:        e,
+			SlotsPerBucket: 2,
+			MaxValueBytes:  128,
+			Insecure:       true,
+			Seed:           "okv-test",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, s, recs
+	}
+
+	// Both workloads run exactly 30 logical operations.
+	hotE, hotS, hotRecs := build()
+	if err := hotS.Set([]byte("hot"), []byte("celebrity record")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 29; i++ {
+		if _, ok, err := hotS.Get([]byte("hot")); err != nil || !ok {
+			t.Fatalf("hot get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+
+	churnE, churnS, churnRecs := build()
+	for i := 0; i < 10; i++ {
+		if err := churnS.Set([]byte(fmt.Sprintf("churn-%d", i)), make([]byte, i*12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := churnS.Get([]byte(fmt.Sprintf("ghost-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := churnS.Del([]byte(fmt.Sprintf("churn-%d", i*2))); err != nil { // half present, half absent
+			t.Fatal(err)
+		}
+	}
+
+	// Pad both engines' shards to one common cycle count: from equal
+	// cycle counts and equal geometry, equal traces must follow.
+	target := int64(0)
+	for _, e := range []*engine.Engine{hotE, churnE} {
+		for i := 0; i < shards; i++ {
+			if c := e.Shard(i).Stats().Cycles; c > target {
+				target = c
+			}
+		}
+	}
+	for _, e := range []*engine.Engine{hotE, churnE} {
+		for i := 0; i < shards; i++ {
+			if _, err := e.Shard(i).PadToCycles(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sig := func(rec *trace.Recorder) []string {
+		evs := rec.Events()
+		out := make([]string, len(evs))
+		for i, ev := range evs {
+			out[i] = fmt.Sprintf("%s/%d", ev.Dev, ev.Op)
+		}
+		return out
+	}
+	for i := 0; i < shards; i++ {
+		hot, churn := sig(hotRecs[i]), sig(churnRecs[i])
+		if len(hot) != len(churn) {
+			t.Fatalf("shard %d: hot workload produced %d device events, churn %d — KV traffic volume depends on the op mix",
+				i, len(hot), len(churn))
+		}
+		for j := range hot {
+			if hot[j] != churn[j] {
+				t.Fatalf("shard %d: event %d is %s under hot but %s under churn — the KV op mix is visible on the bus",
+					i, j, hot[j], churn[j])
+			}
+		}
+		if got := hotE.Shard(i).Stats().ShuffleQuanta; got == 0 {
+			t.Fatalf("shard %d: no shuffle quanta ran; the trace never exercised the shuffle pipeline", i)
+		}
+	}
+}

@@ -1,0 +1,674 @@
+// Package okv is an oblivious key–value store layered on the H-ORAM
+// block engine: the outsourced-database workload the paper's
+// introduction motivates, built so the KV layer itself cannot re-open
+// the access-pattern channel the block store closes.
+//
+// # Why a fixed shape
+//
+// An ORAM hides WHICH blocks an operation touches, but not HOW MANY:
+// the scheduler runs one cycle per unit of work, and cycle counts are
+// observable at the device bus. A KV layer that probes a
+// key-dependent number of blocks (the classic linear-probing table:
+// walk the collision chain until the key or an empty slot appears)
+// therefore leaks key popularity and table structure through the op
+// count alone — exactly the leak the engine exists to close. This
+// package makes every logical operation issue one identical,
+// constant-size block pipeline:
+//
+//	batch 1: 2·SlotsPerBucket slot reads   (both candidate buckets)
+//	batch 2: extents extent reads          (target slot's value run)
+//	batch 3: 1 slot write + extents extent writes
+//
+// GET-hit, GET-miss, SET-insert, SET-update, SET-into-a-full-table
+// and DEL (present or absent) all run the full pipeline: misses read
+// and rewrite a PRF-chosen dummy slot, GETs write back exactly what
+// they read, DELs of absent keys rewrite unchanged blocks. The shape
+// is independent of the key, the table occupancy and the value length
+// (values are padded to the fixed extent run, up to MaxValueBytes).
+// The obliviousness tests in this package assert both the per-op
+// batch shape and the full device-event trace.
+//
+// # Layout
+//
+// Keys hash to two candidate buckets under a PRF keyed from the
+// master key (two-choice hashing keeps bucket overflow exponentially
+// unlikely at moderate load factors); each bucket holds
+// SlotsPerBucket slots; each slot owns one directory block and a
+// fixed run of ceil(MaxValueBytes/BlockSize) extent blocks. All state
+// lives in ordinary engine blocks, so the engine's snapshot/restore
+// protocol persists the table as a side effect; the only additional
+// record is snapshot.KVState (geometry echo + counters), embedded in
+// the engine manifest by Store.Checkpoint — persistence adds no new
+// volume channel.
+//
+// # Residual channels
+//
+// The op COUNT is observable, as it is for any client of the block
+// store. Input validation (empty/oversized key, oversized value) is
+// refused before any block traffic; validity depends only on the
+// request itself, never on secret table state, so the refusal reveals
+// nothing an adversary did not already know. ErrTableFull is returned
+// only AFTER the full fixed pipeline has run.
+package okv
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/blockcipher"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// DefaultSlotsPerBucket is the bucket width. Two-choice hashing with
+// 4-slot buckets sustains ~80% load factors with negligible overflow
+// probability; the advertised Capacity assumes 100% (a SET may return
+// ErrTableFull earlier when both candidate buckets fill).
+const DefaultSlotsPerBucket = 4
+
+// Typed errors. Validation errors (key/value) are returned before any
+// block traffic; ErrTableFull only after the op's full fixed pipeline.
+var (
+	ErrKeyInvalid    = errors.New("okv: key empty or over MaxKeyBytes")
+	ErrValueTooLarge = errors.New("okv: value over MaxValueBytes")
+	ErrTableFull     = errors.New("okv: both candidate buckets full")
+	ErrClosed        = errors.New("okv: closed")
+)
+
+// Backend is the oblivious block store the table lives in. Both
+// *engine.Engine and *core.Client satisfy it.
+type Backend interface {
+	// Batch runs the requests as one logical batch; results land in
+	// each request's Result field in submission order.
+	Batch(reqs []*core.Request) error
+	// Blocks is the backend's logical address-space size.
+	Blocks() int64
+	// BlockSize is the block size in bytes.
+	BlockSize() int
+}
+
+// Options configures a Store.
+type Options struct {
+	// Backend is the block store the table is laid out in. Required.
+	// The store assumes it owns the WHOLE address space: raw block
+	// writes interleaved from elsewhere corrupt the table.
+	Backend Backend
+	// SlotsPerBucket is the bucket width; 0 selects
+	// DefaultSlotsPerBucket.
+	SlotsPerBucket int
+	// MaxValueBytes caps value length and fixes the per-slot extent
+	// run at ceil(MaxValueBytes/BlockSize) blocks. 0 selects
+	// 4×BlockSize.
+	MaxValueBytes int
+	// MaxKeyBytes caps key length; 0 selects the largest key a slot
+	// block can hold (BlockSize − 7 header bytes).
+	MaxKeyBytes int
+	// Key is the 32-byte master key the bucket-hashing PRF derives
+	// from. Required unless Insecure is set.
+	Key []byte
+	// Insecure derives the hashing PRF from Seed instead of a key
+	// (performance-model runs only; bucket placement becomes
+	// predictable).
+	Insecure bool
+	// Seed is the insecure-mode PRF seed; empty selects a fixed one.
+	Seed string
+}
+
+// Shape is the fixed per-operation access shape: every Get, Set and
+// Del issues exactly LookupReads slot reads, then ExtentReads extent
+// reads, then Writes block writes, as three backend batches.
+type Shape struct {
+	LookupReads int
+	ExtentReads int
+	Writes      int
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Count    int64 // live keys
+	Capacity int64 // total slots (upper bound on live keys)
+	Gets     int64
+	Sets     int64
+	Dels     int64
+	// Misses counts lookups (Get or Del) that found no live entry.
+	Misses int64
+}
+
+// lockStripes is the size of the bucket-lock table. Concurrency is
+// bounded by min(lockStripes, in-flight ops), so the value only needs
+// to comfortably exceed any realistic serving parallelism.
+const lockStripes = 64
+
+// Store is an oblivious key–value table. All methods are safe for
+// concurrent use. Each operation is a read-modify-write spanning
+// three backend batches, so mutual exclusion is per bucket (striped):
+// operations whose candidate buckets share no stripe run their
+// pipelines concurrently — that is what lets KV throughput follow the
+// engine's shard scaling — while operations on the same key (same
+// buckets) serialise and stay linearizable. Checkpoint takes the
+// quiesce lock to drain every in-flight pipeline before the directory
+// state is captured.
+type Store struct {
+	be  Backend
+	lay layout
+	prf *blockcipher.PRF
+
+	quiesce sync.RWMutex            // ops hold R; Checkpoint/Close hold W
+	stripes [lockStripes]sync.Mutex // bucket-striped op exclusion
+	closed  bool                    // written under quiesce.W, read under .R
+
+	// submit feeds the combiner goroutine (see combiner): concurrent
+	// operations' phase batches merge into shared backend batches.
+	submit       chan *phaseReq
+	combinerDone chan struct{}
+
+	statMu sync.Mutex
+	count  int64
+	gets   int64
+	sets   int64
+	dels   int64
+	misses int64
+}
+
+// phaseReq is one operation's contribution to a combined backend
+// batch.
+type phaseReq struct {
+	reqs []*core.Request
+	done chan error
+}
+
+// combineCap bounds one combined backend batch, so a burst of
+// concurrent pipelines cannot build arbitrarily long drains.
+const combineCap = 1024
+
+// combiner is the store's single batching goroutine. It takes
+// whatever phase submissions are queued RIGHT NOW — at least one,
+// blocking — and issues them as ONE backend batch, then completes the
+// waiters. Under concurrency this merges many operations' fixed
+// pipelines into shared scheduler drains (amortising the engine's
+// per-batch cross-shard leveling); a lone serial operation is issued
+// immediately, with no added latency window. Merging never alters
+// what any single operation contributes — each op still issues its
+// exact fixed request sequence — so the combined batch sizes depend
+// only on arrival timing, never on keys, occupancy or outcomes.
+func (s *Store) combiner() {
+	defer close(s.combinerDone)
+	for pr := range s.submit {
+		reqs := pr.reqs
+		waiters := []*phaseReq{pr}
+	drain:
+		for len(reqs) < combineCap {
+			select {
+			case more, ok := <-s.submit:
+				if !ok {
+					break drain
+				}
+				reqs = append(reqs, more.reqs...)
+				waiters = append(waiters, more)
+			default:
+				break drain
+			}
+		}
+		err := s.be.Batch(reqs)
+		for _, w := range waiters {
+			w.done <- err
+		}
+	}
+}
+
+// runBatch routes one phase batch through the combiner. The caller
+// holds quiesce.R, so Close cannot shut the combiner down while a
+// submission is in flight.
+func (s *Store) runBatch(reqs []*core.Request) error {
+	pr := &phaseReq{reqs: reqs, done: make(chan error, 1)}
+	s.submit <- pr
+	return <-pr.done
+}
+
+// Close stops the combiner goroutine after in-flight operations
+// drain. Operations after Close return ErrClosed. Safe to call more
+// than once. Close does not touch the backend.
+func (s *Store) Close() {
+	s.quiesce.Lock()
+	defer s.quiesce.Unlock()
+	if s.closed {
+		<-s.combinerDone
+		return
+	}
+	s.closed = true
+	close(s.submit)
+	<-s.combinerDone
+}
+
+// lockBuckets locks the stripes of both candidate buckets in stripe
+// order (a single lock when they collide) and returns the unlock.
+func (s *Store) lockBuckets(b0, b1 int64) func() {
+	i, j := int(b0%lockStripes), int(b1%lockStripes)
+	if i > j {
+		i, j = j, i
+	}
+	s.stripes[i].Lock()
+	if j != i {
+		s.stripes[j].Lock()
+	}
+	return func() {
+		if j != i {
+			s.stripes[j].Unlock()
+		}
+		s.stripes[i].Unlock()
+	}
+}
+
+// resolve fills defaults, validates, and derives the layout.
+func resolve(opts Options) (Options, layout, error) {
+	if opts.Backend == nil {
+		return opts, layout{}, errors.New("okv: Options.Backend is required")
+	}
+	blockSize := opts.Backend.BlockSize()
+	if blockSize <= slotHeaderLen {
+		return opts, layout{}, fmt.Errorf("okv: block size %d cannot hold a %d-byte slot header", blockSize, slotHeaderLen)
+	}
+	if opts.SlotsPerBucket == 0 {
+		opts.SlotsPerBucket = DefaultSlotsPerBucket
+	}
+	if opts.SlotsPerBucket < 1 {
+		return opts, layout{}, fmt.Errorf("okv: SlotsPerBucket %d must be positive", opts.SlotsPerBucket)
+	}
+	if opts.MaxValueBytes == 0 {
+		opts.MaxValueBytes = 4 * blockSize
+	}
+	if opts.MaxValueBytes < 1 {
+		return opts, layout{}, fmt.Errorf("okv: MaxValueBytes %d must be positive", opts.MaxValueBytes)
+	}
+	if opts.MaxKeyBytes == 0 {
+		opts.MaxKeyBytes = blockSize - slotHeaderLen
+	}
+	if opts.MaxKeyBytes < 1 || opts.MaxKeyBytes > blockSize-slotHeaderLen {
+		return opts, layout{}, fmt.Errorf("okv: MaxKeyBytes %d out of [1,%d]", opts.MaxKeyBytes, blockSize-slotHeaderLen)
+	}
+	if !opts.Insecure && len(opts.Key) != 32 {
+		return opts, layout{}, fmt.Errorf("okv: Key must be 32 bytes, got %d", len(opts.Key))
+	}
+	extents := (opts.MaxValueBytes + blockSize - 1) / blockSize
+	lay := layout{
+		slots:     opts.SlotsPerBucket,
+		extents:   extents,
+		blockSize: blockSize,
+		maxKey:    opts.MaxKeyBytes,
+		maxValue:  opts.MaxValueBytes,
+	}
+	lay.buckets = opts.Backend.Blocks() / (int64(opts.SlotsPerBucket) * lay.blocksPerSlot())
+	if lay.buckets < 2 {
+		return opts, layout{}, fmt.Errorf("okv: backend of %d blocks fits %d buckets of %d slots × %d blocks; need at least 2 (two-choice hashing)",
+			opts.Backend.Blocks(), lay.buckets, opts.SlotsPerBucket, lay.blocksPerSlot())
+	}
+	return opts, lay, nil
+}
+
+// hashPRF builds the bucket-hashing PRF.
+func hashPRF(opts Options) (*blockcipher.PRF, error) {
+	if !opts.Insecure {
+		return blockcipher.NewPRF(opts.Key)
+	}
+	seed := opts.Seed
+	if seed == "" {
+		seed = "okv-insecure"
+	}
+	sum := sha256.Sum256([]byte("okv-hash-seed/" + seed))
+	return blockcipher.NewPRF(sum[:])
+}
+
+// New lays a fresh table over the backend's address space. The
+// backend's blocks must all read as zeros (a fresh engine does): a
+// zero block decodes as an empty slot, so no initialisation traffic
+// is needed.
+func New(opts Options) (*Store, error) {
+	opts, lay, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	prf, err := hashPRF(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		be:           opts.Backend,
+		lay:          lay,
+		prf:          prf,
+		submit:       make(chan *phaseReq, lockStripes),
+		combinerDone: make(chan struct{}),
+	}
+	go s.combiner()
+	return s, nil
+}
+
+// Resume re-attaches a Store to a restored backend image. st is the
+// directory state the engine manifest carried (engine.RestoredKVState);
+// the geometry it echoes must match what opts derives — a mismatch
+// would silently re-hash every key to different buckets — and its
+// counters are adopted.
+func Resume(opts Options, st *snapshot.KVState) (*Store, error) {
+	if st == nil {
+		return nil, errors.New("okv: restored image carries no KV state (was the store created with the KV layer enabled?)")
+	}
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	mismatches := []struct {
+		name      string
+		got, want any
+	}{
+		{"Buckets", s.lay.buckets, st.Buckets},
+		{"SlotsPerBucket", s.lay.slots, st.SlotsPerBucket},
+		{"MaxValueBytes", s.lay.maxValue, st.MaxValueBytes},
+		{"MaxKeyBytes", s.lay.maxKey, st.MaxKeyBytes},
+	}
+	for _, m := range mismatches {
+		if m.got != m.want {
+			return nil, fmt.Errorf("okv: resume geometry mismatch: %s resolves to %v but the persisted table was built with %v", m.name, m.got, m.want)
+		}
+	}
+	s.count = st.Count
+	s.gets, s.sets, s.dels, s.misses = st.Gets, st.Sets, st.Dels, st.Misses
+	return s, nil
+}
+
+// Capacity is the total slot count — the hard upper bound on live
+// keys. Two-choice hashing typically sustains ~80% of it before a SET
+// first sees ErrTableFull.
+func (s *Store) Capacity() int64 { return s.lay.buckets * int64(s.lay.slots) }
+
+// Buckets returns the table's bucket count.
+func (s *Store) Buckets() int64 { return s.lay.buckets }
+
+// SlotsPerBucket returns the resolved bucket width.
+func (s *Store) SlotsPerBucket() int { return s.lay.slots }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int64 {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.count
+}
+
+// MaxValueBytes returns the value-length cap.
+func (s *Store) MaxValueBytes() int { return s.lay.maxValue }
+
+// MaxKeyBytes returns the key-length cap.
+func (s *Store) MaxKeyBytes() int { return s.lay.maxKey }
+
+// Shape returns the fixed per-operation access shape.
+func (s *Store) Shape() Shape {
+	return Shape{
+		LookupReads: 2 * s.lay.slots,
+		ExtentReads: s.lay.extents,
+		Writes:      1 + s.lay.extents,
+	}
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return Stats{
+		Count:    s.count,
+		Capacity: s.Capacity(),
+		Gets:     s.gets,
+		Sets:     s.sets,
+		Dels:     s.dels,
+		Misses:   s.misses,
+	}
+}
+
+// state renders the directory state for the snapshot manifest. Caller
+// holds statMu or has quiesced the store.
+func (s *Store) state() snapshot.KVState {
+	return snapshot.KVState{
+		Buckets:        s.lay.buckets,
+		SlotsPerBucket: s.lay.slots,
+		MaxValueBytes:  s.lay.maxValue,
+		MaxKeyBytes:    s.lay.maxKey,
+		Count:          s.count,
+		Gets:           s.gets,
+		Sets:           s.sets,
+		Dels:           s.dels,
+		Misses:         s.misses,
+	}
+}
+
+// Checkpoint quiesces the store — every in-flight operation pipeline
+// completes, new ones wait — and runs save with the directory state,
+// so the saved state can never sit between the batches of a
+// half-finished operation. The intended save function is
+// engine.SaveSnapshotKV: the engine then quiesces its shards, levels
+// cycle counts, and persists the block image and this record at one
+// checkpoint cut.
+func (s *Store) Checkpoint(save func(*snapshot.KVState) error) error {
+	s.quiesce.Lock()
+	defer s.quiesce.Unlock()
+	st := s.state()
+	return save(&st)
+}
+
+// validateKey refuses malformed keys before any block traffic.
+// Validity depends only on the request itself, never on table state.
+func (s *Store) validateKey(key []byte) error {
+	if len(key) < 1 || len(key) > s.lay.maxKey {
+		return fmt.Errorf("%w: %d bytes, cap %d", ErrKeyInvalid, len(key), s.lay.maxKey)
+	}
+	return nil
+}
+
+// buckets returns the key's two candidate buckets under the keyed
+// PRF. They may coincide; the pipeline reads both runs regardless, so
+// the shape does not change.
+func (s *Store) buckets(key []byte) (int64, int64) {
+	b0 := int64(s.prf.Uint64("okv-bucket-0|"+string(key), 0) % uint64(s.lay.buckets))
+	b1 := int64(s.prf.Uint64("okv-bucket-1|"+string(key), 0) % uint64(s.lay.buckets))
+	return b0, b1
+}
+
+// dummySlot picks the miss path's target among the 2S candidate
+// slots, keyed by the PRF so it is deterministic per key but
+// structureless across keys.
+func (s *Store) dummySlot(key []byte) int {
+	return int(s.prf.Uint64("okv-dummy|"+string(key), 0) % uint64(2*s.lay.slots))
+}
+
+// opKind discriminates the three public operations inside the shared
+// fixed pipeline.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opSet
+	opDel
+)
+
+// access is the one fixed pipeline every operation runs: 2S slot
+// reads, E extent reads of the target slot, then 1 slot write + E
+// extent writes. Only the CONTENT of batch 3 depends on the op kind
+// and lookup outcome; the batch sizes, op mix and ordering never do.
+func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, err error) {
+	s.quiesce.RLock()
+	defer s.quiesce.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+
+	S := s.lay.slots
+	b0, b1 := s.buckets(key)
+	unlock := s.lockBuckets(b0, b1)
+	defer unlock()
+
+	// Batch 1: read both candidate buckets' slot blocks.
+	slotIdx := make([]int64, 0, 2*S)
+	lookups := make([]*core.Request, 0, 2*S)
+	for _, b := range [2]int64{b0, b1} {
+		for j := 0; j < S; j++ {
+			idx := s.lay.slotIndex(b, j)
+			slotIdx = append(slotIdx, idx)
+			lookups = append(lookups, &core.Request{Op: core.OpRead, Addr: s.lay.slotAddr(idx)})
+		}
+	}
+	if err := s.runBatch(lookups); err != nil {
+		return nil, false, fmt.Errorf("okv: lookup batch: %w", err)
+	}
+	entries := make([]slotEntry, 2*S)
+	for i, r := range lookups {
+		e, err := s.lay.decodeSlot(r.Result)
+		if err != nil {
+			return nil, false, fmt.Errorf("okv: slot %d of bucket %d: %w", i%S, slotIdx[i]/int64(S), err)
+		}
+		entries[i] = e
+	}
+
+	// Classify and pick the target slot. Every path lands on exactly
+	// one of the 2S candidates.
+	target := -1
+	for i, e := range entries {
+		if e.occupied && bytes.Equal(e.key, key) {
+			target = i
+			found = true
+			break
+		}
+	}
+	full := false
+	if !found {
+		if kind == opSet {
+			// Two-choice insert: the bucket with more free slots wins
+			// (ties to b0), then its first free slot.
+			free := [2]int{}
+			for i, e := range entries {
+				if !e.occupied {
+					free[i/S]++
+				}
+			}
+			half := 0
+			if free[1] > free[0] {
+				half = 1
+			}
+			if free[half] == 0 {
+				full = true
+				target = s.dummySlot(key)
+			} else {
+				for j := 0; j < S; j++ {
+					if !entries[half*S+j].occupied {
+						target = half*S + j
+						break
+					}
+				}
+			}
+		} else {
+			target = s.dummySlot(key)
+		}
+	}
+
+	// Batch 2: read the target slot's fixed extent run. On the miss
+	// and full paths this is the dummy read that keeps the shape.
+	extReads := make([]*core.Request, s.lay.extents)
+	for j := range extReads {
+		extReads[j] = &core.Request{Op: core.OpRead, Addr: s.lay.extentAddr(slotIdx[target], j)}
+	}
+	if err := s.runBatch(extReads); err != nil {
+		return nil, false, fmt.Errorf("okv: extent batch: %w", err)
+	}
+
+	// Compute batch 3's contents: by default write back the exact
+	// bytes just read (a semantic no-op — the ORAM re-encrypts every
+	// write, so it is bus-indistinguishable from a mutation).
+	slotData := lookups[target].Result
+	extData := make([][]byte, s.lay.extents)
+	for j, r := range extReads {
+		extData[j] = r.Result
+	}
+	switch {
+	case kind == opSet && !full:
+		slotData = s.lay.encodeSlot(key, len(value))
+		extData = s.lay.encodeValue(value)
+	case kind == opDel && found:
+		// Vacate the slot and scrub the extents so deleted values do
+		// not linger in the (encrypted) block image.
+		slotData = make([]byte, s.lay.blockSize)
+		for j := range extData {
+			extData[j] = make([]byte, s.lay.blockSize)
+		}
+	case kind == opGet && found:
+		val = s.lay.decodeValue(extData, entries[target].valLen)
+	}
+
+	// Batch 3: one slot write plus the extent run.
+	writes := make([]*core.Request, 0, 1+s.lay.extents)
+	writes = append(writes, &core.Request{Op: core.OpWrite, Addr: s.lay.slotAddr(slotIdx[target]), Data: slotData})
+	for j, d := range extData {
+		writes = append(writes, &core.Request{Op: core.OpWrite, Addr: s.lay.extentAddr(slotIdx[target], j), Data: d})
+	}
+	if err := s.runBatch(writes); err != nil {
+		return nil, false, fmt.Errorf("okv: write batch: %w", err)
+	}
+
+	// Counters after the pipeline completed.
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	switch kind {
+	case opGet:
+		s.gets++
+		if !found {
+			s.misses++
+		}
+	case opSet:
+		s.sets++
+		if full {
+			return nil, false, fmt.Errorf("%w (capacity %d, %d live keys)", ErrTableFull, s.Capacity(), s.count)
+		}
+		if !found {
+			s.count++
+		}
+	case opDel:
+		s.dels++
+		if found {
+			s.count--
+		} else {
+			s.misses++
+		}
+	}
+	return val, found, nil
+}
+
+// Get looks key up, returning ok=false when absent. A miss runs the
+// same fixed pipeline as a hit.
+func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
+	if err := s.validateKey(key); err != nil {
+		return nil, false, err
+	}
+	return s.access(opGet, key, nil)
+}
+
+// Set inserts or updates key. Values up to MaxValueBytes (inclusive)
+// are padded to the fixed extent run; longer ones are refused before
+// any block traffic. When both candidate buckets are full the fixed
+// pipeline still runs to completion and ErrTableFull is returned.
+func (s *Store) Set(key, value []byte) error {
+	if err := s.validateKey(key); err != nil {
+		return err
+	}
+	if len(value) > s.lay.maxValue {
+		return fmt.Errorf("%w: %d bytes, cap %d", ErrValueTooLarge, len(value), s.lay.maxValue)
+	}
+	_, _, err := s.access(opSet, key, value)
+	return err
+}
+
+// Del removes key, reporting whether it existed. Deleting an absent
+// key is a no-op with the same access shape as a real deletion.
+func (s *Store) Del(key []byte) (existed bool, err error) {
+	if err := s.validateKey(key); err != nil {
+		return false, err
+	}
+	_, found, err := s.access(opDel, key, nil)
+	return found, err
+}

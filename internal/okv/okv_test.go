@@ -1,0 +1,452 @@
+// Differential tests: the oblivious KV store against a plain
+// map[string]string. The map defines the reference semantics — Get
+// returns the last value Set for the key (absent if never set or
+// deleted), Del reports prior existence — and the store must match it
+// at every shard count, across shuffle periods, and across a
+// snapshot/restore cut. The edge cases the old examples/kvstore
+// mishandled (table-full inserts, deletes, value-cap boundaries) are
+// covered here explicitly.
+package okv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockcipher"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// newCoreClient builds an unsharded core.Client backend.
+func newCoreClient(t *testing.T) *core.Client {
+	t.Helper()
+	c, err := core.Open(core.Options{
+		Blocks:      512,
+		BlockSize:   32,
+		MemoryBytes: 4 << 10,
+		Insecure:    true,
+		Seed:        "okv-core-backend",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// testEngine builds a small sharded engine whose per-shard memory
+// trees are tiny, so differential runs cross several shuffle periods.
+func testEngine(t *testing.T, shards int, seed string) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Options{
+		Blocks:      512,
+		BlockSize:   32,
+		MemoryBytes: 4 << 10,
+		Insecure:    true,
+		Seed:        seed,
+		Shards:      shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func testStore(t *testing.T, e *engine.Engine) *Store {
+	t.Helper()
+	s, err := New(Options{
+		Backend:        e,
+		SlotsPerBucket: 2,
+		MaxValueBytes:  64, // 2 extent blocks of 32 B
+		Insecure:       true,
+		Seed:           "okv-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runDifferential drives a seeded randomized KV workload through the
+// store, checking every outcome against the model as it goes, and
+// returns the model for continuation checks.
+func runDifferential(t *testing.T, s *Store, label string, ops int, model map[string]string) {
+	t.Helper()
+	rng := blockcipher.NewRNGFromString("okv-differential")
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%02d", i)
+	}
+	for i := 0; i < ops; i++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // Set
+			vlen := rng.Intn(s.MaxValueBytes() + 1) // 0..cap inclusive
+			v := make([]byte, vlen)
+			rng.Read(v)
+			err := s.Set([]byte(k), v)
+			if errors.Is(err, ErrTableFull) {
+				if _, ok := model[k]; ok {
+					t.Fatalf("%s: op %d: Set(%s) reported full but the key exists (update cannot fill)", label, i, k)
+				}
+				continue // model unchanged: the insert was refused
+			}
+			if err != nil {
+				t.Fatalf("%s: op %d: Set(%s): %v", label, i, k, err)
+			}
+			model[k] = string(v)
+		case 4: // Del
+			existed, err := s.Del([]byte(k))
+			if err != nil {
+				t.Fatalf("%s: op %d: Del(%s): %v", label, i, k, err)
+			}
+			_, want := model[k]
+			if existed != want {
+				t.Fatalf("%s: op %d: Del(%s) existed=%v, model says %v", label, i, k, existed, want)
+			}
+			delete(model, k)
+		default: // Get
+			v, ok, err := s.Get([]byte(k))
+			if err != nil {
+				t.Fatalf("%s: op %d: Get(%s): %v", label, i, k, err)
+			}
+			want, wantOK := model[k]
+			if ok != wantOK {
+				t.Fatalf("%s: op %d: Get(%s) ok=%v, model says %v", label, i, k, ok, wantOK)
+			}
+			if ok && !bytes.Equal(v, []byte(want)) {
+				t.Fatalf("%s: op %d: Get(%s) = %d bytes, want %d", label, i, k, len(v), len(want))
+			}
+		}
+		if got := s.Len(); got != int64(len(model)) {
+			t.Fatalf("%s: op %d: Len() = %d, model holds %d", label, i, got, len(model))
+		}
+	}
+}
+
+// TestDifferentialAgainstMapModel runs the randomized workload at
+// shard counts 1, 2 and 4, checking the geometry actually crossed
+// shuffle periods on every shard.
+func TestDifferentialAgainstMapModel(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := testEngine(t, shards, fmt.Sprintf("okv-diff-%d", shards))
+			s := testStore(t, e)
+			model := make(map[string]string)
+			runDifferential(t, s, "diff", 240, model)
+			for _, sh := range e.ShardStats() {
+				if sh.Shuffles < 2 {
+					t.Fatalf("shard %d shuffled only %d times; the run never crossed enough shuffle periods", sh.Shard, sh.Shuffles)
+				}
+			}
+			st := s.Stats()
+			if st.Gets == 0 || st.Sets == 0 || st.Dels == 0 || st.Misses == 0 {
+				t.Fatalf("workload did not exercise every op kind: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreDifferential checkpoints the store mid-workload,
+// tears the whole stack down, restores from disk, and continues the
+// differential run against the same model: the restart must preserve
+// the table, the live-key count and the counters.
+func TestSnapshotRestoreDifferential(t *testing.T) {
+	dir := t.TempDir()
+	build := func(restore bool) (*engine.Engine, *Store) {
+		opts := engine.Options{
+			Blocks:      512,
+			BlockSize:   32,
+			MemoryBytes: 4 << 10,
+			Insecure:    true,
+			Seed:        "okv-persist",
+			Shards:      2,
+			DataDir:     filepath.Join(dir, "store"),
+		}
+		var e *engine.Engine
+		var err error
+		if restore {
+			e, err = engine.Restore(opts)
+		} else {
+			e, err = engine.New(opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvOpts := Options{
+			Backend:        e,
+			SlotsPerBucket: 2,
+			MaxValueBytes:  64,
+			Insecure:       true,
+			Seed:           "okv-test",
+		}
+		var s *Store
+		if restore {
+			s, err = Resume(kvOpts, e.RestoredKVState())
+		} else {
+			s, err = New(kvOpts)
+		}
+		if err != nil {
+			e.Close()
+			t.Fatal(err)
+		}
+		return e, s
+	}
+
+	e, s := build(false)
+	model := make(map[string]string)
+	runDifferential(t, s, "pre-snapshot", 120, model)
+	preStats := s.Stats()
+	if err := s.Checkpoint(e.SaveSnapshotKV); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e, s = build(true)
+	defer e.Close()
+	if got := s.Stats(); got != preStats {
+		t.Fatalf("restored stats %+v, want %+v", got, preStats)
+	}
+	// Every model key must read back across the restart, then the
+	// workload continues against the same model.
+	for k, v := range model {
+		got, ok, err := s.Get([]byte(k))
+		if err != nil || !ok || !bytes.Equal(got, []byte(v)) {
+			t.Fatalf("after restore: Get(%s) = (%d bytes, %v, %v), want %d bytes", k, len(got), ok, err, len(v))
+		}
+	}
+	runDifferential(t, s, "post-restore", 120, model)
+}
+
+// TestResumeRefusesGeometryDrift pins the resume-time validation: a
+// table persisted under one geometry must not be reopened under
+// another (every key would silently re-hash).
+func TestResumeRefusesGeometryDrift(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	opts := engine.Options{
+		Blocks: 512, BlockSize: 32, MemoryBytes: 4 << 10,
+		Insecure: true, Seed: "okv-drift", Shards: 2, DataDir: dir,
+	}
+	e, err := engine.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 64, Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(e.SaveSnapshotKV); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e, err = engine.Restore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, bad := range []Options{
+		{Backend: e, SlotsPerBucket: 4, MaxValueBytes: 64, Insecure: true},
+		{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 32, Insecure: true},
+		{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 64, MaxKeyBytes: 8, Insecure: true},
+	} {
+		if _, err := Resume(bad, e.RestoredKVState()); err == nil {
+			t.Fatalf("Resume accepted drifted geometry %+v", bad)
+		}
+	}
+	if _, err := Resume(Options{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 64, Insecure: true}, nil); err == nil {
+		t.Fatal("Resume accepted a nil KV state")
+	}
+	if s, err = Resume(Options{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 64, Insecure: true, Seed: "okv-insecure"}, e.RestoredKVState()); err != nil {
+		t.Fatalf("Resume refused the matching geometry: %v", err)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after resume = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// TestTableFull covers the old example's worst latent bug (a full
+// table cost up to 2048 sequential ORAM reads before erroring): a SET
+// into a table whose both candidate buckets are occupied returns
+// ErrTableFull — typed, after its one fixed pipeline — and deleting
+// any resident key makes the same SET succeed.
+func TestTableFull(t *testing.T) {
+	e, err := engine.New(engine.Options{
+		Blocks:      8, // 2 buckets x 2 slots x (1 slot + 1 extent) blocks
+		BlockSize:   32,
+		MemoryBytes: 1 << 10,
+		Insecure:    true,
+		Seed:        "okv-full",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s, err := New(Options{Backend: e, SlotsPerBucket: 2, MaxValueBytes: 16, Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", s.Capacity())
+	}
+
+	// Insert fresh keys until one is refused. With 2 buckets the table
+	// must refuse no later than the 5th distinct key.
+	var fullErr error
+	inserted := []string{}
+	for i := 0; i < 16 && fullErr == nil; i++ {
+		k := fmt.Sprintf("fill-%d", i)
+		err := s.Set([]byte(k), []byte{byte(i)})
+		if err == nil {
+			inserted = append(inserted, k)
+			continue
+		}
+		if !errors.Is(err, ErrTableFull) {
+			t.Fatalf("Set(%s): got %v, want ErrTableFull", k, err)
+		}
+		fullErr = err
+		// The refused op still ran its full pipeline, so the table is
+		// untouched and every resident key still reads back.
+		if s.Len() != int64(len(inserted)) {
+			t.Fatalf("Len = %d after refused insert, want %d", s.Len(), len(inserted))
+		}
+		for j, res := range inserted {
+			if _, ok, err := s.Get([]byte(res)); err != nil || !ok {
+				t.Fatalf("resident key %d unreadable after full SET: ok=%v err=%v", j, ok, err)
+			}
+		}
+		// Updating a resident key must still succeed at full occupancy.
+		if err := s.Set([]byte(inserted[0]), []byte("upd")); err != nil {
+			t.Fatalf("update at full occupancy: %v", err)
+		}
+		// Vacating any candidate bucket lets a retry through when the
+		// freed slot serves the refused key; freeing ALL slots must.
+		for _, res := range inserted {
+			if _, err := s.Del([]byte(res)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Set([]byte(k), []byte{byte(i)}); err != nil {
+			t.Fatalf("Set(%s) after vacating the table: %v", k, err)
+		}
+	}
+	if fullErr == nil {
+		t.Fatalf("table of capacity 4 accepted 16 distinct keys without ErrTableFull")
+	}
+}
+
+// TestValueCapBoundary: a value exactly at MaxValueBytes round-trips;
+// one byte over is refused with a typed error before any block
+// traffic; shrinking updates truncate cleanly.
+func TestValueCapBoundary(t *testing.T) {
+	e := testEngine(t, 1, "okv-cap")
+	s := testStore(t, e)
+	cap := s.MaxValueBytes()
+
+	atCap := bytes.Repeat([]byte{0xcd}, cap)
+	if err := s.Set([]byte("k"), atCap); err != nil {
+		t.Fatalf("Set at cap (%d bytes): %v", cap, err)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || !bytes.Equal(v, atCap) {
+		t.Fatalf("Get at cap = (%d bytes, %v, %v)", len(v), ok, err)
+	}
+
+	before := e.Stats().Requests
+	err := s.Set([]byte("k"), append(atCap, 0xff))
+	if !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Set one byte over cap: got %v, want ErrValueTooLarge", err)
+	}
+	if after := e.Stats().Requests; after != before {
+		t.Fatalf("over-cap Set issued %d block requests; validation must precede traffic", after-before)
+	}
+
+	// Shrink to empty: the update wins and the old tail never leaks.
+	if err := s.Set([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get after shrink-to-empty = (%d bytes, %v, %v), want empty hit", len(v), ok, err)
+	}
+}
+
+// TestKeyValidation: empty and oversized keys are refused before any
+// block traffic, for all three verbs.
+func TestKeyValidation(t *testing.T) {
+	e := testEngine(t, 1, "okv-keys")
+	s := testStore(t, e)
+	long := bytes.Repeat([]byte{'k'}, s.MaxKeyBytes()+1)
+	before := e.Stats().Requests
+	for _, key := range [][]byte{nil, {}, long} {
+		if _, _, err := s.Get(key); !errors.Is(err, ErrKeyInvalid) {
+			t.Fatalf("Get(%d-byte key): got %v, want ErrKeyInvalid", len(key), err)
+		}
+		if err := s.Set(key, []byte("v")); !errors.Is(err, ErrKeyInvalid) {
+			t.Fatalf("Set(%d-byte key): got %v, want ErrKeyInvalid", len(key), err)
+		}
+		if _, err := s.Del(key); !errors.Is(err, ErrKeyInvalid) {
+			t.Fatalf("Del(%d-byte key): got %v, want ErrKeyInvalid", len(key), err)
+		}
+	}
+	if after := e.Stats().Requests; after != before {
+		t.Fatalf("invalid keys issued %d block requests; validation must precede traffic", after-before)
+	}
+	// A key exactly at the cap works end to end.
+	edge := bytes.Repeat([]byte{'e'}, s.MaxKeyBytes())
+	if err := s.Set(edge, []byte("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := s.Get(edge); err != nil || !ok || string(v) != "edge" {
+		t.Fatalf("Get(at-cap key) = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// TestDelAbsentIsNoOp: deleting a key that was never present (and one
+// that was just deleted) reports existed=false, leaves the table
+// untouched, and is not an error — the old example had no delete at
+// all.
+func TestDelAbsentIsNoOp(t *testing.T) {
+	e := testEngine(t, 2, "okv-del")
+	s := testStore(t, e)
+	if err := s.Set([]byte("present"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"never-existed", "present", "present"} {
+		existed, err := s.Del([]byte(k))
+		if err != nil {
+			t.Fatalf("Del %d (%s): %v", i, k, err)
+		}
+		if want := i == 1; existed != want {
+			t.Fatalf("Del %d (%s) existed=%v, want %v", i, k, existed, want)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deletes, want 0", s.Len())
+	}
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("Misses = %d, want 2 (one absent delete, one repeat)", st.Misses)
+	}
+}
+
+// TestStoreOverCoreClient: the Backend interface is satisfied by a
+// plain core.Client too — the KV layer does not require the sharded
+// engine.
+func TestStoreOverCoreClient(t *testing.T) {
+	c := newCoreClient(t)
+	s, err := New(Options{Backend: c, SlotsPerBucket: 2, MaxValueBytes: 64, Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("k"), []byte("core-backed")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "core-backed" {
+		t.Fatalf("Get = (%q, %v, %v)", v, ok, err)
+	}
+}

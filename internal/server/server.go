@@ -27,6 +27,19 @@
 //	  response lines mirror the single-request responses.
 //	STATS                        -> OK k=v ... (engine + server counters)
 //	QUIT                         -> closes the connection
+//
+// With Config.KV set (horamd -kv) the oblivious key–value verbs are
+// served as well — each runs internal/okv's fixed three-batch block
+// pipeline through the engine's reorder buffers, so hit, miss, insert,
+// update and delete are bus-indistinguishable:
+//
+//	KGET <hexkey>                -> OK <hex> | OK (empty value) | MISS | ERR <msg>
+//	KSET <hexkey> [<hexvalue>]   -> OK | ERR <msg>   (omitted value = empty)
+//	KDEL <hexkey>                -> OK 1 (existed) | OK 0 (absent) | ERR <msg>
+//
+// In KV mode raw WRITE is refused: the whole block address space backs
+// the table, and a raw write landing inside it would corrupt the
+// layout. Raw READ stays available for diagnostics.
 package server
 
 import (
@@ -42,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/okv"
 )
 
 // Defaults for Config zero values.
@@ -53,9 +67,12 @@ const (
 	// MaxMultiRequests bounds the <n> of one MULTI command.
 	MaxMultiRequests = 1024
 
-	// maxLineBytes bounds one protocol line (a WRITE line carries the
-	// hex payload, so this also bounds the block size at ~512 KiB).
-	maxLineBytes = 1 << 20
+	// MaxLineBytes bounds one protocol line. WRITE and KSET lines carry
+	// hex payloads (two line bytes per payload byte), so this bounds
+	// the block size at ~512 KiB and is the ceiling horamd validates
+	// -kv-max-value against: a value cap whose at-cap KSET line could
+	// not fit would tear every connection that legitimately used it.
+	MaxLineBytes = 1 << 20
 )
 
 // ErrClosed is returned by Serve after Close.
@@ -78,6 +95,12 @@ type Config struct {
 	// MaxConns caps concurrently served connections; excess
 	// connections are refused with "ERR server busy".
 	MaxConns int
+	// KV enables the oblivious key–value verbs (KGET/KSET/KDEL),
+	// served from this store. The store must be laid over the same
+	// engine; while it is set, raw WRITE is refused so block traffic
+	// cannot corrupt the table layout. Nil serves the block protocol
+	// only.
+	KV *okv.Store
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +116,7 @@ type task struct {
 type Server struct {
 	cfg       Config
 	engine    *engine.Engine
+	kv        *okv.Store
 	blocks    int64
 	blockSize int
 
@@ -133,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		engine:      cfg.Engine,
+		kv:          cfg.KV,
 		blocks:      cfg.Engine.Blocks(),
 		blockSize:   cfg.Engine.BlockSize(),
 		submit:      make(chan *task, cfg.MaxConns),
@@ -362,7 +387,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.forget(conn)
 
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	sc.Buffer(make([]byte, 0, 64<<10), MaxLineBytes)
 	w := bufio.NewWriter(conn)
 scan:
 	for sc.Scan() {
@@ -387,6 +412,8 @@ scan:
 				break
 			}
 			writeOpResponse(w, req)
+		case "KGET", "KSET", "KDEL":
+			s.handleKV(w, fields)
 		case "MULTI":
 			if !s.handleMulti(sc, w, fields) {
 				// Framing is no longer trustworthy (bad count, or
@@ -469,6 +496,77 @@ func (s *Server) handleMulti(sc *bufio.Scanner, w *bufio.Writer, fields []string
 	return true
 }
 
+// handleKV serves one KGET/KSET/KDEL command. KV operations bypass the
+// batching window — each already IS a fixed-size batch pipeline that
+// the okv layer drives through the engine's reorder buffers. Blocking
+// here only parks this connection's goroutine: okv locks per bucket,
+// so concurrent connections' operations on disjoint keys run their
+// pipelines concurrently and their batches coalesce in the shards'
+// reorder buffers.
+func (s *Server) handleKV(w *bufio.Writer, fields []string) {
+	verb := strings.ToUpper(fields[0])
+	if s.kv == nil {
+		fmt.Fprintln(w, "ERR kv disabled (start horamd with -kv)")
+		return
+	}
+	usage := map[string]string{
+		"KGET": "usage: KGET <hexkey>",
+		"KSET": "usage: KSET <hexkey> [<hexvalue>]",
+		"KDEL": "usage: KDEL <hexkey>",
+	}[verb]
+	wantMax := 2
+	if verb == "KSET" {
+		wantMax = 3
+	}
+	if len(fields) < 2 || len(fields) > wantMax {
+		fmt.Fprintln(w, "ERR "+usage)
+		return
+	}
+	key, err := hex.DecodeString(fields[1])
+	if err != nil {
+		fmt.Fprintln(w, "ERR bad hex key")
+		return
+	}
+	switch verb {
+	case "KGET":
+		val, ok, err := s.kv.Get(key)
+		switch {
+		case err != nil:
+			fmt.Fprintln(w, "ERR "+err.Error())
+		case !ok:
+			fmt.Fprintln(w, "MISS")
+		case len(val) == 0:
+			fmt.Fprintln(w, "OK")
+		default:
+			fmt.Fprintln(w, "OK "+hex.EncodeToString(val))
+		}
+	case "KSET":
+		var val []byte
+		if len(fields) == 3 {
+			if val, err = hex.DecodeString(fields[2]); err != nil {
+				fmt.Fprintln(w, "ERR bad hex value")
+				return
+			}
+		}
+		if err := s.kv.Set(key, val); err != nil {
+			fmt.Fprintln(w, "ERR "+err.Error())
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "KDEL":
+		existed, err := s.kv.Del(key)
+		if err != nil {
+			fmt.Fprintln(w, "ERR "+err.Error())
+			return
+		}
+		if existed {
+			fmt.Fprintln(w, "OK 1")
+		} else {
+			fmt.Fprintln(w, "OK 0")
+		}
+	}
+}
+
 // parseOp parses a READ/WRITE command (already split into fields) and
 // validates it against the store geometry, so a malformed request is
 // refused before it can poison a shared batch.
@@ -477,6 +575,9 @@ func (s *Server) parseOp(fields []string) (*core.Request, string) {
 	wantArgs := 2
 	if op == "WRITE" {
 		wantArgs = 3
+		if s.kv != nil {
+			return nil, "WRITE disabled in KV mode (the block space backs the key-value table)"
+		}
 	}
 	if len(fields) != wantArgs {
 		if op == "WRITE" {
@@ -529,6 +630,10 @@ func (s *Server) statsLine() string {
 		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.Quanta, sum.MaxCycleTime, sum.SimTime, sum.Shards,
 		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch,
 		engine.FormatHist(ss.Histogram), engine.FormatHist(ss.ShardHistogram))
+	if ss.KV != nil {
+		fmt.Fprintf(&b, " kv_count=%d kv_capacity=%d kv_gets=%d kv_sets=%d kv_dels=%d kv_misses=%d",
+			ss.KV.Count, ss.KV.Capacity, ss.KV.Gets, ss.KV.Sets, ss.KV.Dels, ss.KV.Misses)
+	}
 	for _, sh := range ss.PerShard {
 		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_pad=%d s%d_quanta=%d s%d_maxcycle=%s s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
 			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.PadCycles,

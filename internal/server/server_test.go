@@ -296,7 +296,7 @@ func TestOversizedLineSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	big := make([]byte, maxLineBytes+16)
+	big := make([]byte, MaxLineBytes+16)
 	for i := range big {
 		big[i] = 'a'
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"repro/internal/engine"
+	"repro/internal/okv"
 )
 
 // counters is the mutable server-side stats state, guarded by
@@ -41,6 +42,9 @@ type Stats struct {
 	// drain histograms — the replacement for the old single global
 	// batch histogram, now derived from per-shard truth.
 	ShardHistogram [engine.NumBuckets]int64
+	// KV is the oblivious key–value layer's counters when Config.KV is
+	// set (nil otherwise): live keys, capacity, and per-verb totals.
+	KV *okv.Stats
 }
 
 // record accounts one window-level drain.
@@ -78,6 +82,10 @@ func (s *Server) Stats() Stats {
 	st.ShardHistogram = engine.SumHists(hists...)
 	if st.Batches > 0 {
 		st.MeanBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	if s.kv != nil {
+		kv := s.kv.Stats()
+		st.KV = &kv
 	}
 	return st
 }

@@ -244,6 +244,32 @@ type Manifest struct {
 	Insecure          bool
 	Seed              string
 	Epoch             uint64
+
+	// KV is the oblivious key–value subsystem's directory state when
+	// the image belongs to a KV store (nil for raw block images). It
+	// rides in the manifest — the file written last and read first — so
+	// a restore sees KV geometry and occupancy from the same checkpoint
+	// cut as the shard snapshots, and persistence adds no KV-specific
+	// volume channel: the table's contents live in the ordinary block
+	// image, this record only carries geometry and counters.
+	KV *KVState
+}
+
+// KVState is the control state of an okv.Store: the static table
+// geometry (validated on resume — a mismatched layout would silently
+// scramble every key's bucket and extent addresses) plus the live-key
+// count and operation counters at the checkpoint. It never contains
+// keys, values, or key material.
+type KVState struct {
+	Buckets        int64
+	SlotsPerBucket int
+	MaxValueBytes  int
+	MaxKeyBytes    int
+	Count          int64
+	Gets           int64
+	Sets           int64
+	Dels           int64
+	Misses         int64
 }
 
 // Encode gob-encodes the manifest for WriteFile (after sealing).

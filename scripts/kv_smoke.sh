@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# KV smoke: build horamd, start it with -kv -data-dir, drive
+# KSET/KGET/KDEL over the wire, SIGTERM it, restart from the same
+# directory, and verify the table survived (live keys read back,
+# deleted keys stay gone, counters resumed). CI runs this as the KV
+# acceptance gate; `make kv-smoke` runs it locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/horamd" ./cmd/horamd
+go run ./scripts/kvsmoke -horamd "$tmp/horamd"
