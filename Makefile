@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist bench-kv persist-smoke kv-smoke fmt
+.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline persist-smoke kv-smoke fmt
 
-ci: build vet fmt-check test race bench-smoke persist-smoke kv-smoke
+ci: build vet fmt-check test race bench-smoke bench-sealer persist-smoke kv-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench ./internal/okv
+	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench ./internal/okv ./internal/blockcipher ./internal/device ./internal/pathoram
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -59,6 +59,15 @@ bench-persist:
 # key-value logical throughput vs shard count.
 bench-kv:
 	$(GO) run ./cmd/horam-bench -exp kv -out BENCH_kv.json
+
+# Sealer throughput gate: fail if the seal/open microbenchmarks fall
+# below 80% of the committed BENCH_sealer.json baseline.
+bench-sealer:
+	./scripts/sealer_gate.sh
+
+# Regenerate the committed sealer baseline (BENCH_sealer.json).
+bench-sealer-baseline:
+	./scripts/sealer_gate.sh -update
 
 fmt:
 	gofmt -w .

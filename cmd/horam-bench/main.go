@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -37,9 +39,40 @@ func main() {
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
 	out := flag.String("out", "", "also write the -exp shard or -exp latency sweep as a JSON baseline to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *crypto, *reqs, *out); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "horam-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "horam-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*exp, *scale, *crypto, *reqs, *out)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // settle live-heap numbers before the snapshot
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil && err == nil {
+			err = merr
+		}
+	}
+
+	if err != nil {
+		pprof.StopCPUProfile() // flush before the hard exit skips defers
 		fmt.Fprintln(os.Stderr, "horam-bench:", err)
 		os.Exit(1)
 	}

@@ -47,6 +47,8 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -73,11 +75,25 @@ func main() {
 	checkpoint := flag.Duration("checkpoint", time.Minute, "periodic control-state checkpoint interval with -data-dir (0 disables; a final checkpoint always runs on shutdown)")
 	fsync := flag.Int("fsync", 0, "storage fsync policy with -data-dir: 0 = at shuffle/checkpoint boundaries only, 1 = every write, n = every n-th write")
 	monolithic := flag.Bool("monolithic-shuffle", false, "run each shuffle period as one stop-the-world pass instead of the default deamortized per-cycle quanta (tail latency!)")
+	sealWorkers := flag.Int("seal-workers", 0, "worker-pool bound for parallel record sealing (0 = GOMAXPROCS capped at 8, 1 = serial)")
 	kv := flag.Bool("kv", false, "serve the oblivious key-value layer (KGET/KSET/KDEL; raw WRITE is disabled — the block space backs the table)")
 	kvMaxValue := flag.Int("kv-max-value", 4096, "KV value-length cap in bytes; fixes the per-op extent fan-out at ceil(cap/blocksize)")
 	kvSlots := flag.Int("kv-slots", okv.DefaultSlotsPerBucket, "KV slots per hash bucket (two-choice hashing)")
 	statsEvery := flag.Duration("stats-every", time.Minute, "periodic serving-stats log interval (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the /debug/pprof handlers via the
+		// blank import; keep it on its own listener so profiling never
+		// shares a port with the block protocol.
+		go func() {
+			log.Printf("horamd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("horamd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	key, err := hex.DecodeString(*keyHex)
 	if err != nil {
@@ -90,6 +106,7 @@ func main() {
 		Key:               key,
 		Shards:            *shards,
 		MonolithicShuffle: *monolithic,
+		SealWorkers:       *sealWorkers,
 		DataDir:           *dataDir,
 		FsyncEvery:        *fsync,
 	}

@@ -239,6 +239,7 @@ type KVReport struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPUs       int      `json:"cpus"`
 	Params     KVParams `json:"params"`
 	Rows       []KVRow  `json:"rows"`
 }
@@ -250,6 +251,7 @@ func WriteKVJSON(path string, rows []KVRow, p KVParams) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Params:     p,
 		Rows:       rows,
 	}

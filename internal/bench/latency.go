@@ -240,6 +240,7 @@ type LatencyReport struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	CPUs       int           `json:"cpus"`
 	Params     LatencyParams `json:"params"`
 	Rows       []LatencyRow  `json:"rows"`
 }
@@ -251,6 +252,7 @@ func WriteLatencyJSON(path string, rows []LatencyRow, p LatencyParams) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Params:     p,
 		Rows:       rows,
 	}

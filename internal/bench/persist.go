@@ -307,6 +307,7 @@ type PersistReport struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	CPUs       int           `json:"cpus"`
 	Params     PersistParams `json:"params"`
 	Device     PersistDevRow `json:"device"`
 	Rows       []PersistRow  `json:"rows"`
@@ -319,6 +320,7 @@ func WritePersistJSON(path string, dev PersistDevRow, rows []PersistRow, p Persi
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Params:     p,
 		Device:     dev,
 		Rows:       rows,

@@ -185,6 +185,7 @@ type ShardReport struct {
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	CPUs       int         `json:"cpus"`
 	Params     ShardParams `json:"params"`
 	Rows       []ShardRow  `json:"rows"`
 }
@@ -196,6 +197,7 @@ func WriteShardJSON(path string, rows []ShardRow, p ShardParams) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Params:     p,
 		Rows:       rows,
 	}

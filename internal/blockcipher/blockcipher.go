@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors returned by Sealer implementations.
@@ -58,6 +59,7 @@ type AESSealer struct {
 	mac     []byte // HMAC key
 	rng     *RNG
 	counter uint64
+	scratch sync.Pool // *sealScratch: reusable HMAC state (see batch.go)
 }
 
 // NewAESSealer builds an AESSealer from a 32-byte master key. The key
@@ -90,17 +92,11 @@ func (s *AESSealer) Overhead() int { return nonceSize + tagSize }
 // Seal implements Sealer.
 func (s *AESSealer) Seal(plaintext []byte) ([]byte, error) {
 	out := make([]byte, nonceSize+len(plaintext)+tagSize)
-	nonce := out[:nonceSize]
-	s.counter++
-	binary.BigEndian.PutUint64(nonce[:8], s.counter)
-	binary.BigEndian.PutUint64(nonce[8:], s.rng.Uint64())
-
-	stream := cipher.NewCTR(s.block, nonce)
-	stream.XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
-
-	h := hmac.New(sha256.New, s.mac)
-	h.Write(out[:nonceSize+len(plaintext)])
-	h.Sum(out[nonceSize+len(plaintext) : nonceSize+len(plaintext)])
+	var nonce [nonceSize]byte
+	s.nextNonce(&nonce)
+	sc := s.getScratch()
+	s.sealWithNonce(sc, out, &nonce, plaintext)
+	s.putScratch(sc)
 	return out, nil
 }
 
@@ -109,20 +105,13 @@ func (s *AESSealer) Open(sealed []byte) ([]byte, error) {
 	if len(sealed) < nonceSize+tagSize {
 		return nil, ErrCiphertext
 	}
-	body := sealed[:len(sealed)-tagSize]
-	tag := sealed[len(sealed)-tagSize:]
-
-	h := hmac.New(sha256.New, s.mac)
-	h.Write(body)
-	if !hmac.Equal(h.Sum(nil), tag) {
-		return nil, ErrAuth
+	pt := make([]byte, len(sealed)-nonceSize-tagSize)
+	sc := s.getScratch()
+	err := s.openWithScratch(sc, pt, sealed)
+	s.putScratch(sc)
+	if err != nil {
+		return nil, err
 	}
-
-	nonce := body[:nonceSize]
-	ct := body[nonceSize:]
-	pt := make([]byte, len(ct))
-	stream := cipher.NewCTR(s.block, nonce)
-	stream.XORKeyStream(pt, ct)
 	return pt, nil
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package blockcipher
+
+const raceEnabled = false

@@ -1,0 +1,242 @@
+// Package config is the single definition of the cross-layer H-ORAM
+// options. Historically horam.Config, core.Options and engine.Options
+// each re-declared the same knobs (geometry, key material, shuffle
+// mode, durability paths) and each re-echoed them into manifests with
+// its own mismatch check, so the three copies could — and did — drift.
+// Now there is one Common struct: core.Options and engine.Options are
+// aliases of it, horam.Config embeds the subset it consumes, and the
+// manifest echo plus the restore-time mismatch refusal live here, in
+// exactly one place.
+//
+// Construction supports both plain struct literals (the historical
+// style, still used throughout the tests) and functional options:
+//
+//	opts := config.New(
+//	        config.WithBlocks(1<<16),
+//	        config.WithMemoryBytes(8<<20),
+//	        config.WithKey(key),
+//	        config.WithShards(4),
+//	)
+//	eng, err := engine.New(opts)
+package config
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/snapshot"
+)
+
+// DefaultBlockSize is the paper's block size (1 KB).
+const DefaultBlockSize = 1 << 10
+
+// Stage is one phase of the scheduler's group-size schedule: for Frac
+// of the period's I/O budget, every cycle groups C in-memory reads
+// with the single storage load (paper §4.2: c starts small while the
+// cache is cold and grows as it warms).
+type Stage struct {
+	C    int
+	Frac float64
+}
+
+// Common is the one definition of the knobs every layer shares. Zero
+// values select the paper's defaults where one exists.
+type Common struct {
+	// Blocks is the logical data set size N in blocks. Required.
+	Blocks int64
+	// BlockSize defaults to DefaultBlockSize.
+	BlockSize int
+	// MemoryBytes is the trusted-adjacent memory-tier budget (the
+	// paper's n, counted in plaintext block capacity). Required. A
+	// sharded engine divides it evenly across shards.
+	MemoryBytes int64
+	// Key is the 32-byte master key. Required unless Insecure is set.
+	Key []byte
+	// Insecure disables encryption and integrity (NullSealer) for
+	// performance-model runs. Never use it with real data.
+	Insecure bool
+	// Seed makes all randomness deterministic for replayable
+	// experiments; empty derives the seed from the key.
+	Seed string
+	// Shards is the shard count S of a sharded engine; 0 selects 1.
+	// The single-instance core refuses Shards > 1.
+	Shards int
+	// ShuffleRatio enables partial shuffling (§5.3.1); 0 or 1 = full.
+	ShuffleRatio float64
+	// MonolithicShuffle selects the stop-the-world shuffle (the whole
+	// period inside one scheduler cycle) instead of the default
+	// deamortized pipeline.
+	MonolithicShuffle bool
+	// Stages overrides the scheduler's c schedule; nil selects the
+	// paper's {1, 3, 5} over {20%, 13%, 67%}.
+	Stages []Stage
+	// SealWorkers bounds the worker pool that parallelises seal/unseal
+	// across the records of a cycle or shuffle quantum. 0 sizes the
+	// pool by GOMAXPROCS (serial on one core); 1 forces serial.
+	SealWorkers int
+	// DataDir enables the durable storage backend (see core.Options /
+	// engine.Options for the per-layer directory layouts). Empty keeps
+	// the in-memory simulator.
+	DataDir string
+	// FsyncEvery picks the storage file's fsync policy: 0 fsyncs only
+	// at consistency points (shuffle ends, snapshots), 1 after every
+	// write, n > 1 after every n-th write. Ignored without DataDir.
+	FsyncEvery int
+}
+
+// Option mutates a Common under construction (see New).
+type Option func(*Common)
+
+// New builds a Common from functional options.
+func New(opts ...Option) Common {
+	var c Common
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithBlocks sets the logical data set size N.
+func WithBlocks(n int64) Option { return func(c *Common) { c.Blocks = n } }
+
+// WithBlockSize sets the plaintext block size in bytes.
+func WithBlockSize(n int) Option { return func(c *Common) { c.BlockSize = n } }
+
+// WithMemoryBytes sets the memory-tier budget.
+func WithMemoryBytes(n int64) Option { return func(c *Common) { c.MemoryBytes = n } }
+
+// WithKey sets the 32-byte master key.
+func WithKey(key []byte) Option { return func(c *Common) { c.Key = key } }
+
+// WithInsecure disables encryption and integrity (performance-model
+// runs only).
+func WithInsecure() Option { return func(c *Common) { c.Insecure = true } }
+
+// WithSeed pins the deterministic randomness seed.
+func WithSeed(seed string) Option { return func(c *Common) { c.Seed = seed } }
+
+// WithShards sets the engine shard count.
+func WithShards(s int) Option { return func(c *Common) { c.Shards = s } }
+
+// WithShuffleRatio enables partial shuffling.
+func WithShuffleRatio(r float64) Option { return func(c *Common) { c.ShuffleRatio = r } }
+
+// WithMonolithicShuffle selects the stop-the-world shuffle mode.
+func WithMonolithicShuffle() Option { return func(c *Common) { c.MonolithicShuffle = true } }
+
+// WithStages overrides the scheduler's c schedule.
+func WithStages(stages []Stage) Option { return func(c *Common) { c.Stages = stages } }
+
+// WithSealWorkers bounds the seal/unseal worker pool.
+func WithSealWorkers(n int) Option { return func(c *Common) { c.SealWorkers = n } }
+
+// WithDataDir enables the durable storage backend under dir.
+func WithDataDir(dir string) Option { return func(c *Common) { c.DataDir = dir } }
+
+// WithFsyncEvery sets the storage file's fsync policy.
+func WithFsyncEvery(n int) Option { return func(c *Common) { c.FsyncEvery = n } }
+
+// WithDefaults returns c with the cross-layer defaults filled in:
+// BlockSize and (for engine callers) a shard count of 1.
+func (c Common) WithDefaults() Common {
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	return c
+}
+
+// Validate applies the shared validation rules. prefix names the
+// calling layer ("core", "engine") so errors keep their historical
+// shape.
+func (c Common) Validate(prefix string) error {
+	if c.Blocks <= 0 {
+		return fmt.Errorf("%s: Blocks must be positive, got %d", prefix, c.Blocks)
+	}
+	if c.BlockSize < 0 {
+		return fmt.Errorf("%s: negative BlockSize", prefix)
+	}
+	if c.MemoryBytes <= 0 {
+		return fmt.Errorf("%s: MemoryBytes must be positive", prefix)
+	}
+	if c.FsyncEvery < 0 {
+		return fmt.Errorf("%s: negative FsyncEvery", prefix)
+	}
+	if c.SealWorkers < 0 {
+		return fmt.Errorf("%s: negative SealWorkers", prefix)
+	}
+	if c.ShuffleRatio < 0 || c.ShuffleRatio > 1 {
+		return fmt.Errorf("%s: ShuffleRatio %v out of [0,1]", prefix, c.ShuffleRatio)
+	}
+	if !c.Insecure && len(c.Key) != 32 {
+		return fmt.Errorf("%s: Key must be 32 bytes, got %d", prefix, len(c.Key))
+	}
+	sum := 0.0
+	for _, s := range c.Stages {
+		if s.C <= 0 || s.Frac < 0 {
+			return fmt.Errorf("%s: invalid stage %+v", prefix, s)
+		}
+		sum += s.Frac
+	}
+	if c.Stages != nil && math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%s: stage fractions sum to %v, want 1", prefix, sum)
+	}
+	return nil
+}
+
+// Manifest renders the geometry echo a sharded engine persists at each
+// SaveSnapshot — the one place options become durable state. Restore
+// validates a loaded manifest against the caller's options with
+// CheckManifest, so echo and check can never disagree on the field
+// set.
+func (c Common) Manifest(epoch uint64) snapshot.Manifest {
+	return snapshot.Manifest{
+		Blocks:            c.Blocks,
+		BlockSize:         c.BlockSize,
+		Shards:            c.Shards,
+		MemoryBytes:       c.MemoryBytes,
+		ShuffleRatio:      c.ShuffleRatio,
+		MonolithicShuffle: c.MonolithicShuffle,
+		Insecure:          c.Insecure,
+		Seed:              c.Seed,
+		Epoch:             epoch,
+	}
+}
+
+// CheckManifest refuses a persisted manifest that disagrees with c on
+// any geometry dimension — the restore-time mismatch refusal, defined
+// once for every layer.
+func (c Common) CheckManifest(man *snapshot.Manifest) error {
+	if man == nil {
+		return errors.New("config: nil manifest")
+	}
+	return CheckEcho("engine: restore option mismatch", []Field{
+		{"Blocks", c.Blocks, man.Blocks},
+		{"BlockSize", c.BlockSize, man.BlockSize},
+		{"Shards", c.Shards, man.Shards},
+		{"MemoryBytes", c.MemoryBytes, man.MemoryBytes},
+		{"ShuffleRatio", c.ShuffleRatio, man.ShuffleRatio},
+		{"MonolithicShuffle", c.MonolithicShuffle, man.MonolithicShuffle},
+		{"Insecure", c.Insecure, man.Insecure},
+		{"Seed", c.Seed, man.Seed},
+	})
+}
+
+// Field is one echoed geometry dimension compared at restore time.
+type Field struct {
+	Name      string
+	Got, Want any
+}
+
+// CheckEcho compares a slice of echoed fields and reports the first
+// disagreement in the uniform refusal shape every restore path in this
+// repository uses. Comparison is by interface equality, so both sides
+// of a field must be the same concrete type.
+func CheckEcho(context string, fields []Field) error {
+	for _, f := range fields {
+		if f.Got != f.Want {
+			return fmt.Errorf("%s: %s is %v but the persisted image was built with %v", context, f.Name, f.Got, f.Want)
+		}
+	}
+	return nil
+}

@@ -18,17 +18,17 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/blockcipher"
+	"repro/internal/config"
 	"repro/internal/horam"
 )
 
 // DefaultBlockSize is the paper's block size (1 KB).
-const DefaultBlockSize = 1 << 10
+const DefaultBlockSize = config.DefaultBlockSize
 
 // Store is the uniform oblivious block-store interface all schemes in
 // this repository satisfy; downstream code should depend on it rather
@@ -41,45 +41,21 @@ type Store interface {
 	Write(addr int64, data []byte) error
 }
 
-// Options configures a Client. Zero values select the paper's
-// defaults where one exists.
-type Options struct {
-	// Blocks is the logical data set size N in blocks. Required.
-	Blocks int64
-	// BlockSize defaults to DefaultBlockSize.
-	BlockSize int
-	// MemoryBytes is the trusted-adjacent memory-tier budget (the
-	// paper's n, counted in plaintext block capacity). Required.
-	MemoryBytes int64
-	// Key is the 32-byte master key. Required unless Insecure is set.
-	Key []byte
-	// Insecure disables encryption and integrity (NullSealer) for
-	// performance-model runs. Never use it with real data.
-	Insecure bool
-	// Seed makes the client's randomness deterministic for replayable
-	// experiments; empty derives the seed from the key.
-	Seed string
-	// ShuffleRatio enables partial shuffling (§5.3.1); 0 or 1 = full.
-	ShuffleRatio float64
-	// MonolithicShuffle selects the stop-the-world shuffle (the whole
-	// period inside one scheduler cycle) instead of the default
-	// deamortized pipeline — see horam.Config.MonolithicShuffle.
-	MonolithicShuffle bool
-	// Stages overrides the scheduler's c schedule; nil = PaperStages.
-	Stages []horam.Stage
-	// DataDir enables the durable storage backend: the storage tier
-	// becomes a preallocated device.File at DataDir/storage.dat, a
-	// shuffle-generation marker is maintained at DataDir/storage.gen,
-	// and SaveSnapshot/Restore persist the control state at
-	// DataDir/state.snap. Open always REINITIALISES the storage file
-	// (and removes any stale state.snap); resuming a previous image
-	// goes through Restore. Empty keeps the in-memory simulator.
-	DataDir string
-	// FsyncEvery picks the storage file's fsync policy: 0 fsyncs only
-	// at consistency points (shuffle ends, snapshots), 1 after every
-	// write, n > 1 after every n-th write. Ignored without DataDir.
-	FsyncEvery int
-}
+// Options configures a Client. It is the shared config.Common option
+// set (see internal/config for every field and the functional-option
+// constructors); zero values select the paper's defaults where one
+// exists. Notes specific to this layer:
+//
+//   - Shards must be 0 or 1: a Client is one H-ORAM instance; the
+//     sharded front end is internal/engine.
+//   - DataDir enables the durable storage backend: the storage tier
+//     becomes a preallocated device.File at DataDir/storage.dat, a
+//     shuffle-generation marker is maintained at DataDir/storage.gen,
+//     and SaveSnapshot/Restore persist the control state at
+//     DataDir/state.snap. Open always REINITIALISES the storage file
+//     (and removes any stale state.snap); resuming a previous image
+//     goes through Restore. Empty keeps the in-memory simulator.
+type Options = config.Common
 
 // Client is an H-ORAM session. All methods are safe for concurrent
 // use: the engine itself is single-threaded (the secure scheduler
@@ -112,25 +88,15 @@ type Client struct {
 	drainHook func(n int)
 }
 
-// resolve fills defaults and validates the options.
+// resolve fills defaults and validates the options through the shared
+// config rules, plus the one core-specific restriction: no sharding.
 func resolve(opts Options) (Options, error) {
-	if opts.Blocks <= 0 {
-		return opts, fmt.Errorf("core: Blocks must be positive, got %d", opts.Blocks)
+	opts = opts.WithDefaults()
+	if err := opts.Validate("core"); err != nil {
+		return opts, err
 	}
-	if opts.BlockSize == 0 {
-		opts.BlockSize = DefaultBlockSize
-	}
-	if opts.BlockSize < 0 {
-		return opts, fmt.Errorf("core: negative BlockSize")
-	}
-	if opts.MemoryBytes <= 0 {
-		return opts, errors.New("core: MemoryBytes must be positive")
-	}
-	if opts.FsyncEvery < 0 {
-		return opts, fmt.Errorf("core: negative FsyncEvery")
-	}
-	if !opts.Insecure && len(opts.Key) != 32 {
-		return opts, fmt.Errorf("core: Key must be 32 bytes, got %d", len(opts.Key))
+	if opts.Shards > 1 {
+		return opts, fmt.Errorf("core: Shards %d not supported by a single-instance client (use internal/engine)", opts.Shards)
 	}
 	return opts, nil
 }
@@ -213,6 +179,7 @@ func prepare(opts Options, epoch uint64) (*Client, horam.Config, error) {
 		ShuffleRatio:      opts.ShuffleRatio,
 		MonolithicShuffle: opts.MonolithicShuffle,
 		Stages:            opts.Stages,
+		SealWorkers:       opts.SealWorkers,
 		Sealer:            sealer,
 		RNG:               blockcipher.NewRNGFromString(seed),
 	}

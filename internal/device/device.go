@@ -115,6 +115,15 @@ type Backend interface {
 	ResetStats()
 	// SetHook installs fn to observe every access; nil removes it.
 	SetHook(fn Hook)
+	// ReadSlots reads slots[i] into bufs[i] for every i. Accounting is
+	// per slot in argument order — clock charges, counters and hook
+	// events are exactly those of the equivalent Read loop — but an
+	// implementation may coalesce the data transfer (File turns each
+	// contiguous run into one preadv).
+	ReadSlots(slots []int64, bufs [][]byte) error
+	// WriteSlots writes bufs[i] into slots[i] for every i, with the
+	// same per-slot accounting contract as ReadSlots.
+	WriteSlots(slots []int64, bufs [][]byte) error
 }
 
 // Syncer is the optional durability contract: devices with a real

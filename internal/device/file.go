@@ -31,6 +31,9 @@ type File struct {
 	fsyncEvery int
 	unsynced   int   // timed writes since the last fsync
 	syncs      int64 // fsyncs issued (policy + explicit)
+
+	vec   fileVec  // platform-specific vectored-I/O scratch
+	views [][]byte // reusable slot-size buffer views for vectored runs
 }
 
 // FileConfig parameterises a File device.
@@ -174,6 +177,81 @@ func (d *File) ReadRaw(slot int64, dst []byte) error {
 		return err
 	}
 	return d.pread(slot, dst)
+}
+
+// ReadSlots implements Backend: accounting is charged per slot in
+// argument order exactly as a Read loop would, but each maximal run of
+// contiguous slots is fetched with one preadv burst instead of one
+// pread per slot.
+func (d *File) ReadSlots(slots []int64, bufs [][]byte) error {
+	if err := checkVector(slots, bufs); err != nil {
+		return err
+	}
+	for i, slot := range slots {
+		if err := d.checkSlot(slot); err != nil {
+			return err
+		}
+		if err := d.checkReadBuf(bufs[i], false); err != nil {
+			return err
+		}
+	}
+	for start := 0; start < len(slots); {
+		end := start + 1
+		for end < len(slots) && slots[end] == slots[end-1]+1 {
+			end++
+		}
+		views := d.views[:0]
+		for i := start; i < end; i++ {
+			d.chargeRead(slots[i])
+			d.observe(OpRead, slots[i])
+			views = append(views, bufs[i][:d.slotSize])
+		}
+		d.views = views[:0]
+		if err := d.preadvAt(views, d.off(slots[start])); err != nil {
+			return fmt.Errorf("device %s: preadv slots [%d,%d]: %w", d.profile.Name, slots[start], slots[end-1], err)
+		}
+		start = end
+	}
+	return nil
+}
+
+// WriteSlots implements Backend: per-slot accounting, one pwritev
+// burst per contiguous run. Under a periodic fsync policy it falls
+// back to the sequential Write loop so the policy's sync points (and
+// the Syncs counter) stay exactly where they have always been.
+func (d *File) WriteSlots(slots []int64, bufs [][]byte) error {
+	if d.fsyncEvery > 0 {
+		return WriteSlotsSeq(d, slots, bufs)
+	}
+	if err := checkVector(slots, bufs); err != nil {
+		return err
+	}
+	for i, slot := range slots {
+		if err := d.checkSlot(slot); err != nil {
+			return err
+		}
+		if err := d.checkWritePayload(bufs[i], false); err != nil {
+			return err
+		}
+	}
+	for start := 0; start < len(slots); {
+		end := start + 1
+		for end < len(slots) && slots[end] == slots[end-1]+1 {
+			end++
+		}
+		views := d.views[:0]
+		for i := start; i < end; i++ {
+			d.chargeWrite(slots[i])
+			d.observe(OpWrite, slots[i])
+			views = append(views, bufs[i])
+		}
+		d.views = views[:0]
+		if err := d.pwritevAt(views, d.off(slots[start])); err != nil {
+			return fmt.Errorf("device %s: pwritev slots [%d,%d]: %w", d.profile.Name, slots[start], slots[end-1], err)
+		}
+		start = end
+	}
+	return nil
 }
 
 // Sync flushes buffered writes to the medium (fsync).

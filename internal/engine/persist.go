@@ -66,17 +66,10 @@ func (e *Engine) wireManifest(opts Options, prf *blockcipher.PRF) error {
 			return fmt.Errorf("engine: shard %d restored at checkpoint %d, shard 0 at %d; the directory mixes snapshots from different checkpoints (crash during SaveSnapshot?)", sh.id, got, ckpt)
 		}
 	}
-	e.manifest = snapshot.Manifest{
-		Blocks:            opts.Blocks,
-		BlockSize:         opts.BlockSize,
-		Shards:            opts.Shards,
-		MemoryBytes:       opts.MemoryBytes,
-		ShuffleRatio:      opts.ShuffleRatio,
-		MonolithicShuffle: opts.MonolithicShuffle,
-		Insecure:          opts.Insecure,
-		Seed:              opts.Seed,
-		Epoch:             epoch,
-	}
+	// The geometry echo is the shared config.Common one — the same
+	// field set CheckManifest validates at restore, so echo and check
+	// cannot drift apart.
+	e.manifest = opts.Manifest(epoch)
 	sealer, err := manifestSealer(opts, prf, epoch)
 	if err != nil {
 		return err
@@ -187,23 +180,8 @@ func Restore(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	mismatches := []struct {
-		name      string
-		got, want any
-	}{
-		{"Blocks", opts.Blocks, man.Blocks},
-		{"BlockSize", opts.BlockSize, man.BlockSize},
-		{"Shards", opts.Shards, man.Shards},
-		{"MemoryBytes", opts.MemoryBytes, man.MemoryBytes},
-		{"ShuffleRatio", opts.ShuffleRatio, man.ShuffleRatio},
-		{"MonolithicShuffle", opts.MonolithicShuffle, man.MonolithicShuffle},
-		{"Insecure", opts.Insecure, man.Insecure},
-		{"Seed", opts.Seed, man.Seed},
-	}
-	for _, m := range mismatches {
-		if m.got != m.want {
-			return nil, fmt.Errorf("engine: restore option mismatch: %s is %v but the persisted image was built with %v", m.name, m.got, m.want)
-		}
+	if err := opts.CheckManifest(man); err != nil {
+		return nil, err
 	}
 	e, err := assemble(opts, true)
 	if err != nil {

@@ -1,6 +1,7 @@
 package horam
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -259,28 +260,39 @@ func (o *ORAM) FinishShuffle() error {
 // shufflePartition reshuffles partition p, absorbing as much of the
 // evicted pool (from *poolIdx on) as fits. It returns the number of
 // pool blocks absorbed.
+//
+// The quantum runs entirely in the instance's persistent scratch: the
+// partition is fetched with one vectored ReadSlots burst, the records
+// are opened and re-sealed across the codec's worker pool (nonces are
+// drawn serially in slot order, so the bytes match the serial
+// implementation exactly), and written back with one WriteSlots burst.
+// The meter charges and hook events are per slot in slot order either
+// way — the bus-visible sequence is unchanged.
 func (o *ORAM) shufflePartition(p int64, pool []stash.Block, poolIdx *int) (int, error) {
 	base := p * o.partSlots
-	buf := make([]byte, o.storDev.SlotSize())
+	sc := o.shufScratchFor(o.partSlots)
 
-	// Sequential read: collect live cold blocks. A slot is live iff
-	// the permutation list still maps its block here — blocks fetched
-	// to memory this (or an earlier partial-shuffle) period left stale
-	// ciphertext behind.
-	type rec struct {
-		addr int64
-		data []byte
-	}
-	var blocks []rec
+	// Sequential read: one burst for the whole partition, then a
+	// parallel open into the read-phase plaintext slab.
 	for i := int64(0); i < o.partSlots; i++ {
-		slot := base + i
-		if err := o.storDev.Read(slot, buf); err != nil {
-			return 0, err
-		}
-		addr, payload, err := o.openRecord(buf)
-		if err != nil {
-			return 0, err
-		}
+		sc.slots[i] = base + i
+	}
+	if err := o.storDev.ReadSlots(sc.slots, sc.sealedV); err != nil {
+		return 0, err
+	}
+	if err := o.codec.openRun(sc.readPt, sc.sealedV); err != nil {
+		return 0, err
+	}
+
+	// Collect live cold blocks. A slot is live iff the permutation
+	// list still maps its block here — blocks fetched to memory this
+	// (or an earlier partial-shuffle) period left stale ciphertext
+	// behind. Payloads alias the read slab; the write phase encodes
+	// into a separate slab, so no copy is needed.
+	blocks := sc.recs[:0]
+	for i := int64(0); i < o.partSlots; i++ {
+		pt := sc.readPt[i]
+		addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
 		if addr == dummyAddr {
 			continue
 		}
@@ -288,12 +300,10 @@ func (o *ORAM) shufflePartition(p int64, pool []stash.Block, poolIdx *int) (int,
 		if err != nil {
 			return 0, err
 		}
-		if e.Tier != posmap.TierStorage || e.Slot != slot {
+		if e.Tier != posmap.TierStorage || e.Slot != base+i {
 			continue // stale copy
 		}
-		owned := make([]byte, o.cfg.BlockSize)
-		copy(owned, payload)
-		blocks = append(blocks, rec{addr, owned})
+		blocks = append(blocks, shufRec{addr, pt[headerSize:]})
 	}
 
 	// Concatenate the next piece of evicted hot data.
@@ -301,34 +311,36 @@ func (o *ORAM) shufflePartition(p int64, pool []stash.Block, poolIdx *int) (int,
 	for int64(len(blocks)) < o.partSlots && *poolIdx < len(pool) {
 		b := pool[*poolIdx]
 		*poolIdx++
-		blocks = append(blocks, rec{b.Addr, b.Data})
+		blocks = append(blocks, shufRec{b.Addr, b.Data})
 		absorbed++
 	}
+	sc.recs = blocks[:0]
 
 	// Cache shuffle in trusted memory, then sequential write-back
-	// under a fresh intra-partition permutation.
+	// under a fresh intra-partition permutation: encode every slot's
+	// plaintext in slot order, batch-seal (nonce order = slot order),
+	// one vectored write burst, then the permutation-list updates.
 	permIdx := o.cfg.RNG.Perm(int(o.partSlots))
-	slotOfIdx := make(map[int64]int, len(blocks))
+	clear(sc.slotOf)
 	for i := range blocks {
-		slotOfIdx[base+int64(permIdx[i])] = i
+		sc.slotOf[base+int64(permIdx[i])] = i
 	}
 	for i := int64(0); i < o.partSlots; i++ {
-		slot := base + i
-		addr := dummyAddr
-		var payload []byte
-		if bi, ok := slotOfIdx[slot]; ok {
-			addr = blocks[bi].addr
-			payload = blocks[bi].data
+		if bi, ok := sc.slotOf[base+i]; ok {
+			o.codec.encode(sc.writePt[i], blocks[bi].addr, blocks[bi].data)
+		} else {
+			copy(sc.writePt[i], o.codec.dummyPt)
 		}
-		sealed, err := o.sealRecord(addr, payload)
-		if err != nil {
-			return 0, err
-		}
-		if err := o.storDev.Write(slot, sealed); err != nil {
-			return 0, err
-		}
-		if addr != dummyAddr {
-			if err := o.perm.SetStorage(addr, slot); err != nil {
+	}
+	if err := o.codec.sealRun(sc.writePt, sc.sealedV); err != nil {
+		return 0, err
+	}
+	if err := o.storDev.WriteSlots(sc.slots, sc.sealedV); err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < o.partSlots; i++ {
+		if bi, ok := sc.slotOf[base+i]; ok {
+			if err := o.perm.SetStorage(blocks[bi].addr, base+i); err != nil {
 				return 0, err
 			}
 		}

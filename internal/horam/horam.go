@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/blockcipher"
+	"repro/internal/config"
 	"repro/internal/device"
 	"repro/internal/oramtree"
 	"repro/internal/pathoram"
@@ -42,14 +43,9 @@ const (
 	OpWrite
 )
 
-// Stage is one phase of the scheduler's group-size schedule: for Frac
-// of the period's I/O budget, every cycle groups C in-memory reads
-// with the single storage load (§4.2: c starts small while the cache
-// is cold and grows as it warms).
-type Stage struct {
-	C    int
-	Frac float64
-}
+// Stage is one phase of the scheduler's group-size schedule (§4.2);
+// the definition lives in internal/config so every layer shares it.
+type Stage = config.Stage
 
 // PaperStages returns the schedule used in the paper's evaluation:
 // c = {1, 3, 5} over {20%, 13%, 67%} of each period (ĉ ≈ 3.94).
@@ -96,6 +92,12 @@ type Config struct {
 	// clock. The paper bounds the resulting gain at 32x over the
 	// baseline for the Table 5-1 scenario.
 	BackgroundShuffle bool
+	// SealWorkers bounds the worker pool that parallelises seal/unseal
+	// across the records of a shuffle quantum, a tree path, or a cycle.
+	// 0 sizes the pool from GOMAXPROCS; 1 forces serial crypto. The
+	// nonce streams are drawn serially either way, so the sealed bytes
+	// (and every device-trace test) are identical at any worker count.
+	SealWorkers int
 	// Sealer seals blocks on both tiers; required.
 	Sealer blockcipher.Sealer
 	// RNG drives all randomness; required and must be dedicated.
@@ -143,6 +145,9 @@ func (c Config) validate() error {
 	}
 	if c.ShuffleRatio < 0 || c.ShuffleRatio > 1 {
 		return fmt.Errorf("horam: ShuffleRatio %v out of [0,1]", c.ShuffleRatio)
+	}
+	if c.SealWorkers < 0 {
+		return errors.New("horam: SealWorkers must be non-negative")
 	}
 	sum := 0.0
 	for _, s := range c.Stages {
@@ -211,6 +216,11 @@ type ORAM struct {
 
 	sm       shuffleState // incremental shuffle state machine
 	poisoned error        // sticky failure after a mid-flight shuffle error
+
+	codec    *recordCodec // sealed-record hot path (see codec.go)
+	shuf     *shufScratch // shuffle-quantum scratch, one partition wide
+	fetchBuf []byte       // fetchBlock sealed-slot scratch
+	fetchPt  []byte       // fetchBlock plaintext scratch
 
 	rob   []*Request
 	stats Stats
@@ -306,6 +316,9 @@ func construct(cfg Config) (*ORAM, error) {
 		clkStor: simclock.New(),
 		acct:    simclock.NewAccumulator(),
 	}
+	o.codec = newRecordCodec(cfg.Sealer, cfg.BlockSize, cfg.SealWorkers)
+	o.fetchBuf = make([]byte, slotSize)
+	o.fetchPt = make([]byte, o.codec.ptSize)
 
 	// Memory tier: the largest Path ORAM tree that fits the budget.
 	geom, err := oramtree.FitCapacity(memSlots, cfg.Z)
@@ -317,12 +330,13 @@ func construct(cfg Config) (*ORAM, error) {
 		return nil, err
 	}
 	memCfg := pathoram.Config{
-		Blocks:    cfg.Blocks,
-		BlockSize: cfg.BlockSize,
-		Z:         cfg.Z,
-		Capacity:  geom.Slots(),
-		Sealer:    cfg.Sealer,
-		RNG:       cfg.RNG.Fork("mem-oram"),
+		Blocks:      cfg.Blocks,
+		BlockSize:   cfg.BlockSize,
+		Z:           cfg.Z,
+		Capacity:    geom.Slots(),
+		Sealer:      cfg.Sealer,
+		RNG:         cfg.RNG.Fork("mem-oram"),
+		SealWorkers: cfg.SealWorkers,
 	}
 	o.mem, err = pathoram.New(memCfg, o.memDev)
 	if err != nil {

@@ -1,7 +1,6 @@
 package horam
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"repro/internal/posmap"
@@ -10,35 +9,19 @@ import (
 const headerSize = 8
 const dummyAddr = int64(-1)
 
-func (o *ORAM) sealRecord(addr int64, payload []byte) ([]byte, error) {
-	pt := make([]byte, headerSize+o.cfg.BlockSize)
-	binary.BigEndian.PutUint64(pt[:headerSize], uint64(addr))
-	copy(pt[headerSize:], payload)
-	return o.cfg.Sealer.Seal(pt)
-}
-
-func (o *ORAM) openRecord(sealed []byte) (int64, []byte, error) {
-	pt, err := o.cfg.Sealer.Open(sealed)
-	if err != nil {
-		return 0, nil, err
-	}
-	if len(pt) != headerSize+o.cfg.BlockSize {
-		return 0, nil, fmt.Errorf("horam: record is %d bytes, want %d", len(pt), headerSize+o.cfg.BlockSize)
-	}
-	return int64(binary.BigEndian.Uint64(pt[:headerSize])), pt[headerSize:], nil
-}
-
 // initStorage writes the initial permuted layout. The address→partition
 // assignment must be a *random balanced* one: a globally shuffled
 // address list is dealt into the partitions in equal shares, then each
 // partition is permuted internally. Assigning by address range instead
 // would correlate logical addresses with partitions and leak workload
 // structure through which partitions are read (the §4.3.3 argument
-// needs unbiased partition access). Setup is unmeasured.
+// needs unbiased partition access). Setup is unmeasured; the sealing
+// is still batched across the worker pool because it is the dominant
+// cost of bringing up a large instance.
 func (o *ORAM) initStorage() error {
-	zero := make([]byte, o.cfg.BlockSize)
 	perPart := (o.cfg.Blocks + o.partitions - 1) / o.partitions
 	dealt := o.cfg.RNG.Perm(int(o.cfg.Blocks)) // random balanced deal
+	sc := o.shufScratchFor(o.partSlots)
 	for p := int64(0); p < o.partitions; p++ {
 		lo := p * perPart
 		hi := lo + perPart
@@ -48,22 +31,27 @@ func (o *ORAM) initStorage() error {
 		count := hi - lo
 		permIdx := o.cfg.RNG.Perm(int(o.partSlots))
 		base := p * o.partSlots
+		// Encode the partition's records in deal order (the nonce order
+		// the serial implementation used), batch-seal, then raw-write
+		// each record at its permuted slot.
 		for i := int64(0); i < o.partSlots; i++ {
 			slot := base + int64(permIdx[i])
-			addr := dummyAddr
-			var payload []byte
+			sc.slots[i] = slot
 			if i < count {
-				addr = int64(dealt[lo+i])
-				payload = zero
+				addr := int64(dealt[lo+i])
+				o.codec.encode(sc.writePt[i], addr, nil)
 				if err := o.perm.SetStorage(addr, slot); err != nil {
 					return err
 				}
+			} else {
+				copy(sc.writePt[i], o.codec.dummyPt)
 			}
-			sealed, err := o.sealRecord(addr, payload)
-			if err != nil {
-				return err
-			}
-			if err := o.storDev.WriteRaw(slot, sealed); err != nil {
+		}
+		if err := o.codec.sealRun(sc.writePt, sc.sealedV); err != nil {
+			return err
+		}
+		for i := int64(0); i < o.partSlots; i++ {
+			if err := o.storDev.WriteRaw(sc.slots[i], sc.sealedV[i]); err != nil {
 				return err
 			}
 		}
@@ -75,6 +63,8 @@ func (o *ORAM) initStorage() error {
 // slot, delivery into the memory tree's stash, residency update, and
 // the square-root touched-bit bookkeeping. Exactly one I/O read; no
 // storage write (the slot simply goes stale until the next shuffle).
+// Runs entirely in instance scratch: the tree's Insert copies the
+// payload, so the steady state allocates nothing here.
 func (o *ORAM) fetchBlock(addr int64) error {
 	entry, err := o.perm.Lookup(addr)
 	if err != nil {
@@ -86,11 +76,10 @@ func (o *ORAM) fetchBlock(addr int64) error {
 	if err := o.perm.MarkTouched(addr); err != nil {
 		return err
 	}
-	buf := make([]byte, o.storDev.SlotSize())
-	if err := o.storDev.Read(entry.Slot, buf); err != nil {
+	if err := o.storDev.Read(entry.Slot, o.fetchBuf); err != nil {
 		return err
 	}
-	gotAddr, payload, err := o.openRecord(buf)
+	gotAddr, payload, err := o.codec.openInto(o.fetchPt, o.fetchBuf)
 	if err != nil {
 		return err
 	}

@@ -78,15 +78,25 @@ func (l layout) extentAddr(slotIndex int64, j int) int64 {
 // blocksPerSlot is the backend capacity one slot consumes.
 func (l layout) blocksPerSlot() int64 { return 1 + int64(l.extents) }
 
-// encodeSlot renders an occupied slot record into a fresh block-size
-// buffer. The caller has already validated key and valLen against the
-// layout's caps.
-func (l layout) encodeSlot(key []byte, valLen int) []byte {
-	b := make([]byte, l.blockSize)
+// encodeSlotInto renders an occupied slot record into b, a block-size
+// buffer that may hold stale bytes (the hot path reuses pooled
+// scratch, so the tail must be re-zeroed explicitly). The caller has
+// already validated key and valLen against the layout's caps.
+func (l layout) encodeSlotInto(b, key []byte, valLen int) {
 	b[0] = slotOccupied
 	binary.BigEndian.PutUint16(b[1:3], uint16(len(key)))
 	binary.BigEndian.PutUint32(b[3:7], uint32(valLen))
-	copy(b[slotHeaderLen:], key)
+	n := copy(b[slotHeaderLen:], key)
+	for i := slotHeaderLen + n; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// encodeSlot is the allocating form of encodeSlotInto, for callers
+// outside the steady state.
+func (l layout) encodeSlot(key []byte, valLen int) []byte {
+	b := make([]byte, l.blockSize)
+	l.encodeSlotInto(b, key, valLen)
 	return b
 }
 
@@ -116,19 +126,32 @@ func (l layout) decodeSlot(b []byte) (slotEntry, error) {
 	}
 }
 
-// encodeValue splits a value into the slot's fixed extent run: exactly
-// l.extents blocks, zero-padded — extent traffic is independent of the
-// actual value length.
+// encodeValueInto splits a value into out, a pre-sized extent run of
+// exactly l.extents block-size buffers, zero-padding every byte past
+// the value — extent traffic is independent of the actual value
+// length, and pooled buffers shed their previous contents. A nil
+// value zeroes the whole run (the scrub a deletion writes).
+func (l layout) encodeValueInto(out [][]byte, value []byte) {
+	for j, blk := range out {
+		off := j * l.blockSize
+		n := 0
+		if off < len(value) {
+			n = copy(blk, value[off:])
+		}
+		for i := n; i < len(blk); i++ {
+			blk[i] = 0
+		}
+	}
+}
+
+// encodeValue is the allocating form of encodeValueInto, for callers
+// outside the steady state.
 func (l layout) encodeValue(value []byte) [][]byte {
 	out := make([][]byte, l.extents)
 	for j := range out {
-		blk := make([]byte, l.blockSize)
-		off := j * l.blockSize
-		if off < len(value) {
-			copy(blk, value[off:])
-		}
-		out[j] = blk
+		out[j] = make([]byte, l.blockSize)
 	}
+	l.encodeValueInto(out, value)
 	return out
 }
 

@@ -59,6 +59,7 @@ import (
 	"sync"
 
 	"repro/internal/blockcipher"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/snapshot"
 )
@@ -160,10 +161,15 @@ type Store struct {
 	stripes [lockStripes]sync.Mutex // bucket-striped op exclusion
 	closed  bool                    // written under quiesce.W, read under .R
 
-	// submit feeds the combiner goroutine (see combiner): concurrent
+	// submit feeds the combiner pool (see combiner): concurrent
 	// operations' phase batches merge into shared backend batches.
 	submit       chan *phaseReq
-	combinerDone chan struct{}
+	combinerDone chan struct{} // closed once every combiner has exited
+
+	// ops pools per-operation pipeline scratch (request structs,
+	// decoded entries, batch-3 encode buffers) so the steady-state op
+	// path allocates nothing beyond the value returned to the caller.
+	ops sync.Pool
 
 	statMu sync.Mutex
 	count  int64
@@ -180,11 +186,70 @@ type phaseReq struct {
 	done chan error
 }
 
+// opScratch holds one operation's fixed pipeline state: the request
+// structs and pointer slices of all three batches, the decoded slot
+// entries, and the batch-3 encode buffers. Shapes depend only on the
+// layout, so a pooled scratch serves any op. The pointer slices are
+// wired to the request arrays once, at construction; each use resets
+// the request structs wholesale (which also clears the scheduler's
+// internal completion mark).
+type opScratch struct {
+	slotIdx  []int64
+	entries  []slotEntry
+	lookupRs []core.Request
+	lookups  []*core.Request
+	extRs    []core.Request
+	extReads []*core.Request
+	writeRs  []core.Request
+	writes   []*core.Request
+	extData  [][]byte // batch-3 extent payload views
+	slotBuf  []byte   // batch-3 slot encode / delete scrub
+	extBufs  [][]byte // batch-3 extent encodes, one backing slab
+}
+
+func newOpScratch(lay layout) *opScratch {
+	S, E := lay.slots, lay.extents
+	sc := &opScratch{
+		slotIdx:  make([]int64, 2*S),
+		entries:  make([]slotEntry, 2*S),
+		lookupRs: make([]core.Request, 2*S),
+		lookups:  make([]*core.Request, 2*S),
+		extRs:    make([]core.Request, E),
+		extReads: make([]*core.Request, E),
+		writeRs:  make([]core.Request, 1+E),
+		writes:   make([]*core.Request, 1+E),
+		extData:  make([][]byte, E),
+		slotBuf:  make([]byte, lay.blockSize),
+		extBufs:  make([][]byte, E),
+	}
+	backing := make([]byte, E*lay.blockSize)
+	for j := range sc.extBufs {
+		sc.extBufs[j] = backing[j*lay.blockSize : (j+1)*lay.blockSize]
+	}
+	for i := range sc.lookupRs {
+		sc.lookups[i] = &sc.lookupRs[i]
+	}
+	for i := range sc.extRs {
+		sc.extReads[i] = &sc.extRs[i]
+	}
+	for i := range sc.writeRs {
+		sc.writes[i] = &sc.writeRs[i]
+	}
+	return sc
+}
+
 // combineCap bounds one combined backend batch, so a burst of
 // concurrent pipelines cannot build arbitrarily long drains.
 const combineCap = 1024
 
-// combiner is the store's single batching goroutine. It takes
+// combineWorkers is the number of combiner goroutines. More than one
+// keeps independent operations' phase batches overlapping inside the
+// backend, so a sharded engine sees back-to-back batches in flight
+// and can defer its cross-shard leveling to the last one out instead
+// of padding at every batch boundary.
+const combineWorkers = 4
+
+// combiner is one of the store's batching goroutines. It takes
 // whatever phase submissions are queued RIGHT NOW — at least one,
 // blocking — and issues them as ONE backend batch, then completes the
 // waiters. Under concurrency this merges many operations' fixed
@@ -195,7 +260,6 @@ const combineCap = 1024
 // exact fixed request sequence — so the combined batch sizes depend
 // only on arrival timing, never on keys, occupancy or outcomes.
 func (s *Store) combiner() {
-	defer close(s.combinerDone)
 	for pr := range s.submit {
 		reqs := pr.reqs
 		waiters := []*phaseReq{pr}
@@ -228,7 +292,7 @@ func (s *Store) runBatch(reqs []*core.Request) error {
 	return <-pr.done
 }
 
-// Close stops the combiner goroutine after in-flight operations
+// Close stops the combiner pool after in-flight operations
 // drain. Operations after Close return ErrClosed. Safe to call more
 // than once. Close does not touch the backend.
 func (s *Store) Close() {
@@ -341,7 +405,19 @@ func New(opts Options) (*Store, error) {
 		submit:       make(chan *phaseReq, lockStripes),
 		combinerDone: make(chan struct{}),
 	}
-	go s.combiner()
+	s.ops.New = func() any { return newOpScratch(lay) }
+	var cwg sync.WaitGroup
+	for i := 0; i < combineWorkers; i++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			s.combiner()
+		}()
+	}
+	go func() {
+		cwg.Wait()
+		close(s.combinerDone)
+	}()
 	return s, nil
 }
 
@@ -358,19 +434,13 @@ func Resume(opts Options, st *snapshot.KVState) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	mismatches := []struct {
-		name      string
-		got, want any
-	}{
-		{"Buckets", s.lay.buckets, st.Buckets},
-		{"SlotsPerBucket", s.lay.slots, st.SlotsPerBucket},
-		{"MaxValueBytes", s.lay.maxValue, st.MaxValueBytes},
-		{"MaxKeyBytes", s.lay.maxKey, st.MaxKeyBytes},
-	}
-	for _, m := range mismatches {
-		if m.got != m.want {
-			return nil, fmt.Errorf("okv: resume geometry mismatch: %s resolves to %v but the persisted table was built with %v", m.name, m.got, m.want)
-		}
+	if err := config.CheckEcho("okv: resume geometry mismatch", []config.Field{
+		{Name: "Buckets", Got: s.lay.buckets, Want: st.Buckets},
+		{Name: "SlotsPerBucket", Got: s.lay.slots, Want: st.SlotsPerBucket},
+		{Name: "MaxValueBytes", Got: s.lay.maxValue, Want: st.MaxValueBytes},
+		{Name: "MaxKeyBytes", Got: s.lay.maxKey, Want: st.MaxKeyBytes},
+	}); err != nil {
+		return nil, err
 	}
 	s.count = st.Count
 	s.gets, s.sets, s.dels, s.misses = st.Gets, st.Sets, st.Dels, st.Misses
@@ -505,24 +575,27 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 	unlock := s.lockBuckets(b0, b1)
 	defer unlock()
 
+	sc := s.ops.Get().(*opScratch)
+	defer s.ops.Put(sc)
+
 	// Batch 1: read both candidate buckets' slot blocks.
-	slotIdx := make([]int64, 0, 2*S)
-	lookups := make([]*core.Request, 0, 2*S)
+	n := 0
 	for _, b := range [2]int64{b0, b1} {
 		for j := 0; j < S; j++ {
 			idx := s.lay.slotIndex(b, j)
-			slotIdx = append(slotIdx, idx)
-			lookups = append(lookups, &core.Request{Op: core.OpRead, Addr: s.lay.slotAddr(idx)})
+			sc.slotIdx[n] = idx
+			sc.lookupRs[n] = core.Request{Op: core.OpRead, Addr: s.lay.slotAddr(idx)}
+			n++
 		}
 	}
-	if err := s.runBatch(lookups); err != nil {
+	if err := s.runBatch(sc.lookups); err != nil {
 		return nil, false, fmt.Errorf("okv: lookup batch: %w", err)
 	}
-	entries := make([]slotEntry, 2*S)
-	for i, r := range lookups {
-		e, err := s.lay.decodeSlot(r.Result)
+	entries := sc.entries
+	for i := range sc.lookupRs {
+		e, err := s.lay.decodeSlot(sc.lookupRs[i].Result)
 		if err != nil {
-			return nil, false, fmt.Errorf("okv: slot %d of bucket %d: %w", i%S, slotIdx[i]/int64(S), err)
+			return nil, false, fmt.Errorf("okv: slot %d of bucket %d: %w", i%S, sc.slotIdx[i]/int64(S), err)
 		}
 		entries[i] = e
 	}
@@ -570,44 +643,46 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 
 	// Batch 2: read the target slot's fixed extent run. On the miss
 	// and full paths this is the dummy read that keeps the shape.
-	extReads := make([]*core.Request, s.lay.extents)
-	for j := range extReads {
-		extReads[j] = &core.Request{Op: core.OpRead, Addr: s.lay.extentAddr(slotIdx[target], j)}
+	for j := range sc.extRs {
+		sc.extRs[j] = core.Request{Op: core.OpRead, Addr: s.lay.extentAddr(sc.slotIdx[target], j)}
 	}
-	if err := s.runBatch(extReads); err != nil {
+	if err := s.runBatch(sc.extReads); err != nil {
 		return nil, false, fmt.Errorf("okv: extent batch: %w", err)
 	}
 
 	// Compute batch 3's contents: by default write back the exact
 	// bytes just read (a semantic no-op — the ORAM re-encrypts every
 	// write, so it is bus-indistinguishable from a mutation).
-	slotData := lookups[target].Result
-	extData := make([][]byte, s.lay.extents)
-	for j, r := range extReads {
-		extData[j] = r.Result
+	slotData := sc.lookupRs[target].Result
+	extData := sc.extData
+	for j := range sc.extRs {
+		extData[j] = sc.extRs[j].Result
 	}
 	switch {
 	case kind == opSet && !full:
-		slotData = s.lay.encodeSlot(key, len(value))
-		extData = s.lay.encodeValue(value)
+		s.lay.encodeSlotInto(sc.slotBuf, key, len(value))
+		s.lay.encodeValueInto(sc.extBufs, value)
+		slotData = sc.slotBuf
+		copy(extData, sc.extBufs)
 	case kind == opDel && found:
 		// Vacate the slot and scrub the extents so deleted values do
 		// not linger in the (encrypted) block image.
-		slotData = make([]byte, s.lay.blockSize)
-		for j := range extData {
-			extData[j] = make([]byte, s.lay.blockSize)
+		for i := range sc.slotBuf {
+			sc.slotBuf[i] = 0
 		}
+		s.lay.encodeValueInto(sc.extBufs, nil)
+		slotData = sc.slotBuf
+		copy(extData, sc.extBufs)
 	case kind == opGet && found:
 		val = s.lay.decodeValue(extData, entries[target].valLen)
 	}
 
 	// Batch 3: one slot write plus the extent run.
-	writes := make([]*core.Request, 0, 1+s.lay.extents)
-	writes = append(writes, &core.Request{Op: core.OpWrite, Addr: s.lay.slotAddr(slotIdx[target]), Data: slotData})
+	sc.writeRs[0] = core.Request{Op: core.OpWrite, Addr: s.lay.slotAddr(sc.slotIdx[target]), Data: slotData}
 	for j, d := range extData {
-		writes = append(writes, &core.Request{Op: core.OpWrite, Addr: s.lay.extentAddr(slotIdx[target], j), Data: d})
+		sc.writeRs[1+j] = core.Request{Op: core.OpWrite, Addr: s.lay.extentAddr(sc.slotIdx[target], j), Data: d}
 	}
-	if err := s.runBatch(writes); err != nil {
+	if err := s.runBatch(sc.writes); err != nil {
 		return nil, false, fmt.Errorf("okv: write batch: %w", err)
 	}
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package okv
+
+const raceEnabled = false

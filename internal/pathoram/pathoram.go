@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/blockcipher"
 	"repro/internal/device"
@@ -56,6 +57,11 @@ type Config struct {
 	// StashLimit bounds the stash (0 = unbounded; experiments measure
 	// the peak instead of failing).
 	StashLimit int
+	// SealWorkers bounds the worker pool that parallelises the path
+	// seal/unseal batches. 0 sizes the pool from GOMAXPROCS; 1 forces
+	// serial crypto. Nonces are drawn serially either way, so the
+	// sealed bytes are identical at any worker count.
+	SealWorkers int
 	// Positions overrides where the position map lives. Nil keeps the
 	// classic in-controller map (the paper's "naive setting, no
 	// recursive"); the recursive construction plugs in a store backed
@@ -118,7 +124,18 @@ type ORAM struct {
 	real  int64 // blocks currently held (tree + stash)
 	stats Stats
 
-	slotBuf []byte // scratch for device reads
+	// Steady-state scratch: one path's worth of slots, sealed records
+	// and plaintexts, allocated once so accesses allocate nothing.
+	workers    int      // seal worker-pool bound
+	ptSize     int      // headerSize + BlockSize
+	dummyPt    []byte   // sealed-dummy plaintext; read-only after init
+	pathSlots  []int64  // slot vector of the in-flight path or chunk
+	pathSealed [][]byte // sealed-record slab views
+	pathPt     [][]byte // plaintext slab views (read phase / encodes)
+	sealSrc    [][]byte // seal-batch inputs (pathPt entries or dummyPt)
+	taken      [][]byte // stash payloads consumed by the current writePath
+	free       [][]byte // recycled payload buffers for stash handoff
+	evictAddrs []int64  // sorted stash snapshot for one writePath
 }
 
 // New builds a Path ORAM over dev and fills the tree with sealed
@@ -160,12 +177,70 @@ func New(cfg Config, dev device.Device) (*ORAM, error) {
 		dev:     dev,
 		pm:      pm,
 		stash:   stash.New(cfg.StashLimit),
-		slotBuf: make([]byte, cfg.SlotSize()),
+		workers: resolveWorkers(cfg.SealWorkers),
+		ptSize:  headerSize + cfg.BlockSize,
 	}
+	o.dummyPt = make([]byte, o.ptSize)
+	o.encodePt(o.dummyPt, dummyAddr, nil)
+	pathLen := (geom.Levels + 1) * cfg.Z
+	o.pathSlots = make([]int64, pathLen)
+	o.pathSealed = slabViews(pathLen, cfg.SlotSize())
+	o.pathPt = slabViews(pathLen, o.ptSize)
+	o.sealSrc = make([][]byte, 0, pathLen)
+	o.taken = make([][]byte, 0, pathLen)
 	if err := o.clearTree(); err != nil {
 		return nil, err
 	}
 	return o, nil
+}
+
+// resolveWorkers turns the SealWorkers knob into a pool bound: an
+// explicit value wins, otherwise GOMAXPROCS capped at 8.
+func resolveWorkers(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// slabViews carves one backing array into n fixed-size windows.
+func slabViews(n, size int) [][]byte {
+	backing := make([]byte, n*size)
+	views := make([][]byte, n)
+	for i := range views {
+		views[i] = backing[i*size : (i+1)*size]
+	}
+	return views
+}
+
+// encodePt lays out one record plaintext: address header, payload,
+// zero padding.
+func (o *ORAM) encodePt(dst []byte, addr int64, payload []byte) {
+	binary.BigEndian.PutUint64(dst[:headerSize], uint64(addr))
+	n := copy(dst[headerSize:], payload)
+	for i := headerSize + n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// newPayload returns an owned BlockSize copy of src, reusing a
+// recycled buffer when one is free. Buffers handed to callers are
+// never recycled; only payloads sealed back into the tree return to
+// the free list.
+func (o *ORAM) newPayload(src []byte) []byte {
+	var buf []byte
+	if n := len(o.free); n > 0 {
+		buf = o.free[n-1]
+		o.free = o.free[:n-1]
+	} else {
+		buf = make([]byte, o.cfg.BlockSize)
+	}
+	copy(buf, src)
+	return buf
 }
 
 // rawWriter is the optional fast-path devices expose for unmeasured
@@ -174,46 +249,39 @@ type rawWriter interface {
 	WriteRaw(slot int64, src []byte) error
 }
 
-// clearTree seals a dummy into every slot of the tree.
+// clearTree seals a dummy into every slot of the tree, batch-sealing
+// one path-sized chunk at a time through the worker pool (the chunked
+// order keeps the nonce stream identical to a serial slot loop).
 func (o *ORAM) clearTree() error {
 	rw, hasRaw := o.dev.(rawWriter)
-	for slot := int64(0); slot < o.geom.Slots(); slot++ {
-		sealed, err := o.sealRecord(dummyAddr, nil)
-		if err != nil {
+	chunk := int64(len(o.pathSealed))
+	for lo := int64(0); lo < o.geom.Slots(); lo += chunk {
+		hi := lo + chunk
+		if hi > o.geom.Slots() {
+			hi = o.geom.Slots()
+		}
+		n := int(hi - lo)
+		src := o.sealSrc[:0]
+		for i := 0; i < n; i++ {
+			src = append(src, o.dummyPt)
+		}
+		o.sealSrc = src[:0]
+		if err := blockcipher.SealBatch(o.cfg.Sealer, src, o.pathSealed[:n], o.workers); err != nil {
 			return err
 		}
-		if hasRaw {
-			err = rw.WriteRaw(slot, sealed)
-		} else {
-			err = o.dev.Write(slot, sealed)
-		}
-		if err != nil {
-			return err
+		for i := 0; i < n; i++ {
+			var err error
+			if hasRaw {
+				err = rw.WriteRaw(lo+int64(i), o.pathSealed[i])
+			} else {
+				err = o.dev.Write(lo+int64(i), o.pathSealed[i])
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
-}
-
-// sealRecord encodes and seals one slot record.
-func (o *ORAM) sealRecord(addr int64, payload []byte) ([]byte, error) {
-	pt := make([]byte, headerSize+o.cfg.BlockSize)
-	binary.BigEndian.PutUint64(pt[:headerSize], uint64(addr))
-	copy(pt[headerSize:], payload)
-	return o.cfg.Sealer.Seal(pt)
-}
-
-// openRecord unseals one slot record, returning the address and a
-// freshly allocated payload.
-func (o *ORAM) openRecord(sealed []byte) (int64, []byte, error) {
-	pt, err := o.cfg.Sealer.Open(sealed)
-	if err != nil {
-		return 0, nil, err
-	}
-	if len(pt) != headerSize+o.cfg.BlockSize {
-		return 0, nil, fmt.Errorf("pathoram: decrypted record is %d bytes, want %d", len(pt), headerSize+o.cfg.BlockSize)
-	}
-	addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
-	return addr, pt[headerSize:], nil
 }
 
 // Geometry returns the tree geometry.
@@ -244,40 +312,69 @@ func (o *ORAM) checkAddr(addr int64) error {
 }
 
 // readPath fetches every bucket on the path to leaf into the stash.
+// Two phases over the path scratch: the device reads land in the
+// sealed slab (charged per slot in the classic order), then one batch
+// open fans the crypto across the worker pool and the real blocks are
+// copied into stash-owned buffers.
 func (o *ORAM) readPath(leaf int64) error {
+	n := 0
 	for _, bucket := range o.geom.Path(leaf) {
 		base := o.geom.SlotBase(bucket)
 		for z := 0; z < o.cfg.Z; z++ {
-			if err := o.dev.Read(base+int64(z), o.slotBuf); err != nil {
-				return err
-			}
-			addr, payload, err := o.openRecord(o.slotBuf)
-			if err != nil {
-				return fmt.Errorf("pathoram: bucket %d slot %d: %w", bucket, z, err)
-			}
-			if addr == dummyAddr {
-				continue
-			}
-			if err := o.stash.Put(addr, payload); err != nil {
-				return err
-			}
+			o.pathSlots[n] = base + int64(z)
+			n++
 		}
 		o.stats.BucketReads++
+	}
+	if err := device.ReadSlots(o.dev, o.pathSlots[:n], o.pathSealed[:n]); err != nil {
+		return err
+	}
+	if err := blockcipher.OpenBatch(o.cfg.Sealer, o.pathSealed[:n], o.pathPt[:n], o.workers); err != nil {
+		return fmt.Errorf("pathoram: path to leaf %d: %w", leaf, err)
+	}
+	for i := 0; i < n; i++ {
+		pt := o.pathPt[i]
+		addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
+		if addr == dummyAddr {
+			continue
+		}
+		if err := o.stash.Put(addr, o.newPayload(pt[headerSize:])); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // writePath evicts stash blocks back onto the path to leaf, deepest
-// level first, padding every remaining slot with dummies.
+// level first, padding every remaining slot with dummies. The
+// selection pass stages each slot's plaintext (real payloads are
+// encoded into the path slab, dummies point at the shared dummy
+// plaintext), then one batch seal — nonce order identical to the
+// serial slot loop — and per-slot device writes in the same order.
+// Stash buffers consumed here are dead after sealing and return to
+// the free list.
+//
+// The stash is snapshotted once per path: eviction only removes
+// entries, so one sorted address list with consumed entries marked
+// yields the same per-level candidates, in the same ascending order,
+// as re-enumerating the stash at every level.
 func (o *ORAM) writePath(leaf int64) error {
 	path := o.geom.Path(leaf)
+	n := 0
+	src := o.sealSrc[:0]
+	taken := o.taken[:0]
+	addrs := o.stash.AppendAddrs(o.evictAddrs[:0])
+	o.evictAddrs = addrs[:0]
 	for level := o.geom.Levels; level >= 0; level-- {
 		bucket := path[level]
 		base := o.geom.SlotBase(bucket)
 		placed := 0
-		for _, addr := range o.stash.Addrs() {
+		for i, addr := range addrs {
 			if placed == o.cfg.Z {
 				break
+			}
+			if addr == dummyAddr {
+				continue // already evicted at a deeper level
 			}
 			blockLeaf, err := o.pm.Get(addr)
 			if err != nil {
@@ -290,25 +387,31 @@ func (o *ORAM) writePath(leaf int64) error {
 				continue
 			}
 			payload, _ := o.stash.Take(addr)
-			sealed, err := o.sealRecord(addr, payload)
-			if err != nil {
-				return err
-			}
-			if err := o.dev.Write(base+int64(placed), sealed); err != nil {
-				return err
-			}
+			addrs[i] = dummyAddr
+			o.encodePt(o.pathPt[n], addr, payload)
+			taken = append(taken, payload)
+			src = append(src, o.pathPt[n])
+			o.pathSlots[n] = base + int64(placed)
+			n++
 			placed++
 		}
 		for ; placed < o.cfg.Z; placed++ {
-			sealed, err := o.sealRecord(dummyAddr, nil)
-			if err != nil {
-				return err
-			}
-			if err := o.dev.Write(base+int64(placed), sealed); err != nil {
-				return err
-			}
+			src = append(src, o.dummyPt)
+			o.pathSlots[n] = base + int64(placed)
+			n++
 		}
 		o.stats.BucketWrites++
+	}
+	o.sealSrc = src[:0]
+	o.taken = taken[:0]
+	if err := blockcipher.SealBatch(o.cfg.Sealer, src, o.pathSealed[:n], o.workers); err != nil {
+		return err
+	}
+	if err := device.WriteSlots(o.dev, o.pathSlots[:n], o.pathSealed[:n]); err != nil {
+		return err
+	}
+	for _, buf := range taken {
+		o.free = append(o.free, buf)
 	}
 	return nil
 }
@@ -357,10 +460,9 @@ func (o *ORAM) Access(op Op, addr int64, data []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	stored := current
+	var stored []byte
 	if op == OpWrite {
-		stored = make([]byte, o.cfg.BlockSize)
-		copy(stored, data)
+		stored = o.newPayload(data)
 	} else if fresh {
 		// A read of a never-written block does not allocate state.
 		if err := o.pm.Set(addr, posmap.NoLeaf); err != nil {
@@ -371,6 +473,11 @@ func (o *ORAM) Access(op Op, addr int64, data []byte) ([]byte, error) {
 		}
 		o.stats.Accesses++
 		return current, nil
+	} else {
+		// The stash copy must be distinct from the buffer handed to the
+		// caller: stash payloads are recycled once sealed back into the
+		// tree, caller buffers never are.
+		stored = o.newPayload(current)
 	}
 	if err := o.stash.Put(addr, stored); err != nil {
 		return nil, err
@@ -436,9 +543,7 @@ func (o *ORAM) Insert(addr int64, data []byte) error {
 	if _, err := o.pm.Remap(addr); err != nil {
 		return err
 	}
-	owned := make([]byte, len(data))
-	copy(owned, data)
-	if err := o.stash.Put(addr, owned); err != nil {
+	if err := o.stash.Put(addr, o.newPayload(data)); err != nil {
 		return err
 	}
 	o.stats.Inserts++
@@ -466,19 +571,31 @@ func (o *ORAM) Has(addr int64) (bool, error) {
 // re-filled with dummies and the position map cleared: the ORAM is
 // empty afterwards.
 func (o *ORAM) DrainAll() ([]stash.Block, error) {
-	for slot := int64(0); slot < o.geom.Slots(); slot++ {
-		if err := o.dev.Read(slot, o.slotBuf); err != nil {
+	chunk := int64(len(o.pathSealed))
+	for lo := int64(0); lo < o.geom.Slots(); lo += chunk {
+		hi := lo + chunk
+		if hi > o.geom.Slots() {
+			hi = o.geom.Slots()
+		}
+		n := int(hi - lo)
+		for i := 0; i < n; i++ {
+			o.pathSlots[i] = lo + int64(i)
+		}
+		if err := device.ReadSlots(o.dev, o.pathSlots[:n], o.pathSealed[:n]); err != nil {
 			return nil, err
 		}
-		addr, payload, err := o.openRecord(o.slotBuf)
-		if err != nil {
-			return nil, fmt.Errorf("pathoram: drain slot %d: %w", slot, err)
+		if err := blockcipher.OpenBatch(o.cfg.Sealer, o.pathSealed[:n], o.pathPt[:n], o.workers); err != nil {
+			return nil, fmt.Errorf("pathoram: drain slots [%d,%d): %w", lo, hi, err)
 		}
-		if addr == dummyAddr {
-			continue
-		}
-		if err := o.stash.Put(addr, payload); err != nil {
-			return nil, err
+		for i := 0; i < n; i++ {
+			pt := o.pathPt[i]
+			addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
+			if addr == dummyAddr {
+				continue
+			}
+			if err := o.stash.Put(addr, o.newPayload(pt[headerSize:])); err != nil {
+				return nil, err
+			}
 		}
 	}
 	blocks := o.stash.Drain()

@@ -6,7 +6,7 @@ package stash
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Block is a plaintext ORAM block held in the stash.
@@ -91,12 +91,24 @@ func (s *Stash) Limit() int { return s.limit }
 // ordering keeps eviction — and therefore whole experiments —
 // reproducible under a fixed seed.
 func (s *Stash) Addrs() []int64 {
-	out := make([]int64, 0, len(s.blocks))
-	for a := range s.blocks {
-		out = append(out, a)
+	return s.AppendAddrs(nil)
+}
+
+// AppendAddrs appends the stored addresses to dst in ascending order
+// and returns the extended slice — the allocation-free form of Addrs
+// for hot paths that keep a reusable buffer (pass dst[:0]).
+func (s *Stash) AppendAddrs(dst []int64) []int64 {
+	start := len(dst)
+	if need := start + len(s.blocks); cap(dst) < need {
+		grown := make([]int64, start, need)
+		copy(grown, dst)
+		dst = grown
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	for a := range s.blocks {
+		dst = append(dst, a)
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Drain removes and returns all blocks in ascending address order.

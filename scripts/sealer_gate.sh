@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sealer throughput gate: run the blockcipher seal/open microbenchmarks
+# and fail if any falls below SEALER_GATE_MIN_RATIO (default 0.80) of
+# the committed BENCH_sealer.json baseline. CI runs this as the crypto
+# hot-path regression gate; `make bench-sealer` runs it locally.
+#
+#   ./scripts/sealer_gate.sh            gate against the baseline
+#   ./scripts/sealer_gate.sh -update    rewrite the baseline
+#
+# Env: SEALER_GATE_SKIP=1 skips entirely (incomparable hardware),
+# SEALER_GATE_MIN_RATIO, SEALER_GATE_BENCHTIME, SEALER_GATE_COUNT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${SEALER_GATE_SKIP:-0}" = "1" ]; then
+    echo "sealer gate: skipped (SEALER_GATE_SKIP=1)"
+    exit 0
+fi
+
+benchtime="${SEALER_GATE_BENCHTIME:-300ms}"
+count="${SEALER_GATE_COUNT:-3}"
+
+out=$(go test -run='^$' -bench 'BenchmarkSealer$|BenchmarkSealBatch$' \
+    -benchtime "$benchtime" -count "$count" ./internal/blockcipher)
+echo "$out"
+echo "$out" | go run ./scripts/sealergate \
+    -min-ratio "${SEALER_GATE_MIN_RATIO:-0.80}" "$@"
