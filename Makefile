@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline persist-smoke kv-smoke fmt
+.PHONY: ci build vet fmt-check test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke fmt
 
-ci: build vet fmt-check test race bench-smoke bench-sealer persist-smoke kv-smoke
+ci: build vet fmt-check test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ fmt-check:
 
 test:
 	$(GO) test ./...
+
+# Shuffled test order flushes out inter-test state dependencies that a
+# fixed order silently satisfies.
+test-shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench ./internal/okv ./internal/blockcipher ./internal/device ./internal/pathoram
@@ -68,6 +73,15 @@ bench-sealer:
 # Regenerate the committed sealer baseline (BENCH_sealer.json).
 bench-sealer-baseline:
 	./scripts/sealer_gate.sh -update
+
+# Timing-variance gate: constant-time pairs must be statistically
+# indistinguishable AND the default-mode canary must stay detectable.
+bench-timing:
+	./scripts/timing_gate.sh
+
+# Regenerate the committed timing baseline (BENCH_timing.json).
+bench-timing-baseline:
+	./scripts/timing_gate.sh -update
 
 fmt:
 	gofmt -w .

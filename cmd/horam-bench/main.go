@@ -18,6 +18,7 @@
 //	horam-bench -exp latency             # per-request tail latency, monolithic vs incremental shuffle
 //	horam-bench -exp persist             # file-backed storage vs in-memory simulator
 //	horam-bench -exp kv                  # oblivious key-value layer: logical ops/s vs shard count
+//	horam-bench -exp timing              # constant-time mode: timing-variance distinguishability
 //
 // Absolute durations come from the calibrated device models (Table
 // 5-2); the claims under reproduction are the ratios.
@@ -31,10 +32,11 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/timing"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist, kv")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist, kv, timing")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
@@ -267,6 +269,24 @@ func run(exp string, scale float64, crypto bool, reqs int, out string) error {
 		fmt.Println()
 		if exp == "kv" && out != "" {
 			if err := bench.WriteKVJSON(out, rows, p); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if exp == "timing" {
+		// Deliberately NOT part of -exp all: the experiment measures
+		// the HOST machine's timing noise, not the simulated device
+		// models the paper figures come from.
+		ran = true
+		rep, err := bench.RunTiming(timing.Options{}, bench.DefaultTimingThreshold)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTiming(rep))
+		fmt.Println()
+		if out != "" {
+			if err := bench.WriteTimingJSON(out, rep); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", out)

@@ -1,0 +1,293 @@
+// Timing-variance experiment: drives secret-state-differing workload
+// pairs through the trusted-memory structures in both modes and
+// reports Welch's t per pair (internal/timing). The CI gate built on
+// this (scripts/timing_gate.sh) demands two things at once:
+//
+//  1. CTPass — with ConstantTime on, EVERY pair stays statistically
+//     indistinguishable (|t| under the threshold);
+//  2. DetectPass — in default mode, the stash canary pair exceeds the
+//     same threshold, proving the harness has the power to see the
+//     channel it claims to gate. A gate that "passes" because the
+//     measurement is too weak to see anything is not a gate.
+//
+// The threshold is generous (Welch |t| of 12 is overwhelming evidence
+// under clean conditions) because shared CI runners are noisy; the
+// escape hatch for pathological runners is TIMING_GATE_SKIP=1.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blockcipher"
+	"repro/internal/device"
+	"repro/internal/pathoram"
+	"repro/internal/posmap"
+	"repro/internal/simclock"
+	"repro/internal/stash"
+	"repro/internal/timing"
+)
+
+// DefaultTimingThreshold is the |t| gate bound. Calibrated so the
+// default-mode stash canary clears it by an order of magnitude while
+// constant-time pairs sit far below it even on busy machines.
+const DefaultTimingThreshold = 12
+
+// TimingRow is one pair measurement in one mode.
+type TimingRow struct {
+	Pair   string `json:"pair"`
+	Mode   string `json:"mode"`   // "default" or "constant-time"
+	Canary bool   `json:"canary"` // default-mode detectability proof
+	timing.PairResult
+}
+
+// TimingReport is the full experiment output.
+type TimingReport struct {
+	Threshold  float64     `json:"threshold"`
+	Samples    int         `json:"samples"`
+	Rows       []TimingRow `json:"rows"`
+	CTPass     bool        `json:"ct_pass"`
+	DetectPass bool        `json:"detect_pass"`
+}
+
+// timingPair is one A/B workload pair, constructed per mode.
+type timingPair struct {
+	name   string
+	canary bool
+	build  func(ct bool) (a, b func(), cleanup func(), err error)
+}
+
+// stashPair: Take+Put per iteration on a 3/4-full stash. Side A takes
+// a RESIDENT address and re-inserts it (map mode: delete + insert);
+// side B takes an ABSENT address and overwrites another resident one
+// (map mode: failed lookup + replace). Same public op sequence, the
+// hit/miss split is the secret. The inner loop amplifies the per-op
+// difference above timer resolution.
+func stashPair(ct bool) (func(), func(), func(), error) {
+	const (
+		capacity  = 128
+		blockSize = 64
+		resident  = 96
+		inner     = 16
+	)
+	var s stash.Store
+	if ct {
+		s = stash.NewConstantTime(capacity, blockSize)
+	} else {
+		s = stash.New(capacity)
+	}
+	buf := make([]byte, blockSize)
+	// Even addresses resident, odd absent.
+	for i := 0; i < resident; i++ {
+		if err := s.Put(int64(2*i), buf); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	const (
+		hot     = int64(100) // resident (even)
+		absent  = int64(101) // odd, never inserted
+		replace = int64(200) // resident (even)
+	)
+	a := func() {
+		for i := 0; i < inner; i++ {
+			if _, ok := s.Take(hot); !ok {
+				panic("bench: stash canary lost its hot block")
+			}
+			if err := s.Put(hot, buf); err != nil {
+				panic(err)
+			}
+		}
+	}
+	b := func() {
+		for i := 0; i < inner; i++ {
+			s.Take(absent)
+			if err := s.Put(replace, buf); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return a, b, nil, nil
+}
+
+// posmapPair: position-map lookups of one hot address vs a sweep of
+// addresses. In default mode both are array indexing (the residual
+// channel is the cache line, below this harness's resolution); in CT
+// mode both are full scans. Not a canary.
+func posmapPair(ct bool) (func(), func(), func(), error) {
+	const (
+		blocks = 1024
+		nLeaf  = 512
+		inner  = 64
+	)
+	rng := blockcipher.NewRNGFromString("bench-timing-posmap")
+	m, err := posmap.NewPositionMap(blocks, nLeaf, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m.SetConstantTime(ct)
+	m.RemapAll()
+	// Both sides run the identical harness arithmetic (advance an
+	// index, fold the result into a sink); only the looked-up address
+	// differs, so any measured gap comes from the structure itself.
+	var sinkA, sinkB int64
+	idxA, idxB := int64(0), int64(0)
+	a := func() {
+		for i := 0; i < inner; i++ {
+			idxA = (idxA + 131) % blocks
+			v, _ := m.Get(7)
+			sinkA += v
+		}
+	}
+	b := func() {
+		for i := 0; i < inner; i++ {
+			idxB = (idxB + 131) % blocks
+			v, _ := m.Get(idxB)
+			sinkB += v
+		}
+	}
+	return a, b, nil, nil
+}
+
+// pathoramPair: end-to-end Path ORAM reads — one hot address vs a
+// uniform sweep. Unlike the full H-ORAM scheduler (where a hit/miss
+// mix changes the CYCLE COUNT, which the bus already reveals), every
+// pathoram access presents the identical public shape: one path read,
+// one path write. What differs between the sides is pure secret
+// state — which addresses sit in the stash and where on the tree the
+// target lives — exactly the residue ConstantTime must erase.
+func pathoramPair(ct bool) (func(), func(), func(), error) {
+	const (
+		blocks    = 64
+		blockSize = 32
+		inner     = 4
+	)
+	rng := blockcipher.NewRNGFromString("bench-timing-pathoram")
+	cfg := pathoram.Config{
+		Blocks:       blocks,
+		BlockSize:    blockSize,
+		Z:            4,
+		Sealer:       blockcipher.NullSealer{},
+		RNG:          rng.Fork("oram"),
+		ConstantTime: ct,
+	}
+	dev, err := device.New(device.DRAM(), cfg.SlotSize(), 16*blocks, simclock.New())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	o, err := pathoram.New(cfg, dev)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	payload := make([]byte, blockSize)
+	for i := int64(0); i < blocks; i++ {
+		if err := o.Write(i, payload); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Symmetric harness arithmetic; only the address differs.
+	idxA, idxB := int64(0), int64(0)
+	a := func() {
+		for i := 0; i < inner; i++ {
+			idxA = (idxA + 17) % blocks
+			if _, err := o.Read(13); err != nil {
+				panic(err)
+			}
+		}
+	}
+	b := func() {
+		for i := 0; i < inner; i++ {
+			idxB = (idxB + 17) % blocks
+			if _, err := o.Read(idxB); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return a, b, nil, nil
+}
+
+// timingPairs is the experiment's pair catalogue.
+var timingPairs = []timingPair{
+	{name: "stash-take-put", canary: true, build: stashPair},
+	{name: "posmap-lookup", canary: false, build: posmapPair},
+	{name: "pathoram-read", canary: false, build: pathoramPair},
+}
+
+// RunTiming measures every pair in both modes.
+func RunTiming(opts timing.Options, threshold float64) (*TimingReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultTimingThreshold
+	}
+	rep := &TimingReport{Threshold: threshold, CTPass: true}
+	for _, p := range timingPairs {
+		for _, mode := range []struct {
+			name string
+			ct   bool
+		}{{"default", false}, {"constant-time", true}} {
+			a, b, cleanup, err := p.build(mode.ct)
+			if err != nil {
+				return nil, fmt.Errorf("bench: timing pair %s (%s): %w", p.name, mode.name, err)
+			}
+			res := timing.MeasurePair(opts, a, b)
+			if cleanup != nil {
+				cleanup()
+			}
+			rep.Samples = res.A.N
+			row := TimingRow{Pair: p.name, Mode: mode.name, Canary: p.canary && !mode.ct, PairResult: res}
+			rep.Rows = append(rep.Rows, row)
+			abs := row.T
+			if abs < 0 {
+				abs = -abs
+			}
+			if mode.ct && abs >= threshold {
+				rep.CTPass = false
+			}
+			if row.Canary && abs >= threshold {
+				rep.DetectPass = true
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FormatTiming renders the report as the experiment's console table.
+func FormatTiming(rep *TimingReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== timing variance: secret-dependent wall-clock distinguishability (|t| threshold %.0f) ==\n", rep.Threshold)
+	fmt.Fprintf(&sb, "%-16s %-14s %12s %12s %10s  %s\n", "pair", "mode", "mean A (ns)", "mean B (ns)", "Welch t", "verdict")
+	for _, r := range rep.Rows {
+		abs := r.T
+		if abs < 0 {
+			abs = -abs
+		}
+		verdict := "indistinguishable"
+		if abs >= rep.Threshold {
+			verdict = "DISTINGUISHABLE"
+		}
+		if r.Canary {
+			verdict += " (canary)"
+		}
+		fmt.Fprintf(&sb, "%-16s %-14s %12.0f %12.0f %10.1f  %s\n", r.Pair, r.Mode, r.A.Mean, r.B.Mean, r.T, verdict)
+	}
+	fmt.Fprintf(&sb, "constant-time gate: %s (every CT pair under threshold)\n", passFail(rep.CTPass))
+	fmt.Fprintf(&sb, "detection power:    %s (default-mode canary over threshold)\n", passFail(rep.DetectPass))
+	return sb.String()
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// WriteTimingJSON persists the report (BENCH_timing.json baseline and
+// the CI gate's input).
+func WriteTimingJSON(path string, rep *TimingReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -75,6 +75,14 @@ type Common struct {
 	// across the records of a cycle or shuffle quantum. 0 sizes the
 	// pool by GOMAXPROCS (serial on one core); 1 forces serial.
 	SealWorkers int
+	// ConstantTime hardens the controller's trusted-memory structures
+	// against a co-located timing adversary: stash lookup/insert/evict,
+	// position-map lookups and the okv slot selection become
+	// full-length fixed-order scans with crypto/subtle-style selects
+	// instead of map/early-exit code. The mode changes only in-memory
+	// computation — the sealed device traffic is byte-identical to the
+	// default mode — at a substantial CPU cost per access.
+	ConstantTime bool
 	// DataDir enables the durable storage backend (see core.Options /
 	// engine.Options for the per-layer directory layouts). Empty keeps
 	// the in-memory simulator.
@@ -130,6 +138,9 @@ func WithStages(stages []Stage) Option { return func(c *Common) { c.Stages = sta
 
 // WithSealWorkers bounds the seal/unseal worker pool.
 func WithSealWorkers(n int) Option { return func(c *Common) { c.SealWorkers = n } }
+
+// WithConstantTime enables the constant-time controller mode.
+func WithConstantTime() Option { return func(c *Common) { c.ConstantTime = true } }
 
 // WithDataDir enables the durable storage backend under dir.
 func WithDataDir(dir string) Option { return func(c *Common) { c.DataDir = dir } }
@@ -197,6 +208,7 @@ func (c Common) Manifest(epoch uint64) snapshot.Manifest {
 		MemoryBytes:       c.MemoryBytes,
 		ShuffleRatio:      c.ShuffleRatio,
 		MonolithicShuffle: c.MonolithicShuffle,
+		ConstantTime:      c.ConstantTime,
 		Insecure:          c.Insecure,
 		Seed:              c.Seed,
 		Epoch:             epoch,
@@ -217,6 +229,7 @@ func (c Common) CheckManifest(man *snapshot.Manifest) error {
 		{"MemoryBytes", c.MemoryBytes, man.MemoryBytes},
 		{"ShuffleRatio", c.ShuffleRatio, man.ShuffleRatio},
 		{"MonolithicShuffle", c.MonolithicShuffle, man.MonolithicShuffle},
+		{"ConstantTime", c.ConstantTime, man.ConstantTime},
 		{"Insecure", c.Insecure, man.Insecure},
 		{"Seed", c.Seed, man.Seed},
 	})

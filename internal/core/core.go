@@ -180,6 +180,7 @@ func prepare(opts Options, epoch uint64) (*Client, horam.Config, error) {
 		MonolithicShuffle: opts.MonolithicShuffle,
 		Stages:            opts.Stages,
 		SealWorkers:       opts.SealWorkers,
+		ConstantTime:      opts.ConstantTime,
 		Sealer:            sealer,
 		RNG:               blockcipher.NewRNGFromString(seed),
 	}

@@ -1,0 +1,50 @@
+// Package ctops collects the branchless select/compare primitives the
+// constant-time controller mode is built from. Everything here is a
+// thin, allocation-free wrapper in the crypto/subtle idiom: masks are
+// ints that are exactly 0 or 1, selections are arithmetic, and no
+// operation branches on its data operands.
+//
+// Domain note: the signed comparisons are implemented with a
+// subtraction, so both operands must stay within (-2^62, 2^62) — far
+// beyond any block address, slot index or level this repository uses —
+// except that one operand of Lt64 may be math.MaxInt64 (the
+// constant-time stash's empty sentinel) as long as the other is
+// non-negative.
+package ctops
+
+import "crypto/subtle"
+
+// Eq64 returns 1 when a == b, else 0, without branching.
+func Eq64(a, b int64) int {
+	x := uint64(a ^ b)
+	return int(((x | -x) >> 63) ^ 1)
+}
+
+// EqInt returns 1 when a == b, else 0, without branching.
+func EqInt(a, b int) int { return Eq64(int64(a), int64(b)) }
+
+// Lt64 returns 1 when a < b, else 0, without branching. See the
+// package comment for the operand domain.
+func Lt64(a, b int64) int {
+	return int(uint64(a-b) >> 63)
+}
+
+// LtInt returns 1 when a < b, else 0, without branching.
+func LtInt(a, b int) int { return Lt64(int64(a), int64(b)) }
+
+// GeInt returns 1 when a >= b, else 0, without branching.
+func GeInt(a, b int) int { return LtInt(a, b) ^ 1 }
+
+// Select64 returns a when v == 1 and b when v == 0, without branching.
+func Select64(v int, a, b int64) int64 {
+	m := -int64(v)
+	return (a & m) | (b &^ m)
+}
+
+// SelectInt returns a when v == 1 and b when v == 0, without branching.
+func SelectInt(v int, a, b int) int { return int(Select64(v, int64(a), int64(b))) }
+
+// CopyBytes copies src into dst when v == 1 and leaves dst unchanged
+// when v == 0, reading both slices in full either way. The slices must
+// have equal length.
+func CopyBytes(v int, dst, src []byte) { subtle.ConstantTimeCopy(v, dst, src) }

@@ -1,0 +1,81 @@
+// Constant-time mode at the engine level: the same differential
+// workload that pins the default engine to the map model must pass
+// with ConstantTime on at every shard count, return the same bytes as
+// the default mode, and present an identical full device-event trace
+// per shard (access AND shuffle traffic — the hardening must not move
+// a single device touch).
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// tracedEngine builds a differential-geometry engine with an
+// unfiltered trace recorder on every shard. Within a shard all device
+// access is serial, so no synchronisation is needed per recorder.
+func tracedEngine(t *testing.T, shards int, ct bool) (*Engine, []*trace.Recorder) {
+	t.Helper()
+	e, err := New(Options{
+		Blocks:       diffBlocks,
+		BlockSize:    diffBlockSize,
+		MemoryBytes:  diffMemBytes,
+		Insecure:     true,
+		Seed:         fmt.Sprintf("differential-%d", shards),
+		Shards:       shards,
+		ConstantTime: ct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*trace.Recorder, shards)
+	for i := 0; i < shards; i++ {
+		oram := e.Shard(i).Engine()
+		rec := trace.NewRecorder()
+		h := rec.Hook()
+		oram.Stor().SetHook(h)
+		oram.Mem().SetHook(h)
+		recs[i] = rec
+	}
+	return e, recs
+}
+
+// TestConstantTimeDifferentialAndTraceParity runs the map-model
+// differential workload in both modes at shards 1, 2 and 4, then
+// asserts the read results and every shard's complete device-event
+// sequence are identical across modes.
+func TestConstantTimeDifferentialAndTraceParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			eDef, recsDef := tracedEngine(t, shards, false)
+			logDef := runDifferential(t, eDef, "default")
+			eDef.Close()
+
+			eCT, recsCT := tracedEngine(t, shards, true)
+			logCT := runDifferential(t, eCT, "constant-time")
+			eCT.Close()
+
+			if !bytes.Equal(logDef, logCT) {
+				t.Fatal("constant-time mode returned different read results than default mode")
+			}
+			for s := 0; s < shards; s++ {
+				evDef, evCT := recsDef[s].Events(), recsCT[s].Events()
+				if len(evDef) != len(evCT) {
+					t.Fatalf("shard %d: event counts differ: default %d, ct %d", s, len(evDef), len(evCT))
+				}
+				if len(evDef) == 0 {
+					t.Fatalf("shard %d: no device events recorded", s)
+				}
+				for i := range evDef {
+					if evDef[i] != evCT[i] {
+						t.Fatalf("shard %d event %d: default %+v, ct %+v", s, i, evDef[i], evCT[i])
+					}
+				}
+			}
+		})
+	}
+}

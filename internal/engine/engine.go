@@ -286,6 +286,7 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 			MonolithicShuffle: opts.MonolithicShuffle,
 			Stages:            opts.Stages,
 			SealWorkers:       opts.SealWorkers,
+			ConstantTime:      opts.ConstantTime,
 			FsyncEvery:        opts.FsyncEvery,
 		}
 		if opts.DataDir != "" {

@@ -1,0 +1,66 @@
+// Goroutine accounting on shutdown: Close must join every shard
+// scheduler the engine started, leaving the process at its pre-New
+// goroutine count. A leaked scheduler is invisible to the functional
+// tests (the engine still answers) but compounds across restarts in a
+// long-lived daemon.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutinesBack polls until the process goroutine count returns
+// to the baseline, failing with a full stack dump if it never does.
+// Goroutine exit is asynchronous with respect to Close returning only
+// for the runtime's own bookkeeping, so a short poll — not a fixed
+// sleep — is the reliable shape.
+func waitGoroutinesBack(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseReleasesGoroutines(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			e, err := New(Options{
+				Blocks:      256,
+				BlockSize:   32,
+				MemoryBytes: 4 << 10,
+				Insecure:    true,
+				Seed:        "leak-test",
+				Shards:      shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Real traffic first, so the schedulers are mid-flight state
+			// machines, not freshly parked ones.
+			data := bytes.Repeat([]byte{0x5a}, 32)
+			for i := int64(0); i < 64; i++ {
+				if err := e.Write(i, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.Close()
+			e.Close() // idempotent Close must not double-join or hang
+			waitGoroutinesBack(t, base)
+		})
+	}
+}

@@ -158,6 +158,10 @@ func TestRestoreRefusesMismatchedOptions(t *testing.T) {
 		// The PRF partition derives from the seed: a drifted seed would
 		// silently reroute every address across shards.
 		{"seed", func(o *Options) { o.Seed = "drifted" }},
+		// Silently resuming a constant-time image without the
+		// hardening (or vice versa) would change the deployment's
+		// threat model without anyone noticing.
+		{"constant-time", func(o *Options) { o.ConstantTime = true }},
 	} {
 		bad := opts
 		tc.mutate(&bad)

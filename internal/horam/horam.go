@@ -98,6 +98,13 @@ type Config struct {
 	// nonce streams are drawn serially either way, so the sealed bytes
 	// (and every device-trace test) are identical at any worker count.
 	SealWorkers int
+	// ConstantTime hardens the memory tree's trusted-memory control
+	// structures (stash, position map) against a co-located timing
+	// adversary; see pathoram.Config.ConstantTime. Device traffic is
+	// byte-identical to the default mode. The permutation list and the
+	// shuffle's pool bookkeeping keep their indexed layout — period
+	// aggregate work remains a documented residual channel.
+	ConstantTime bool
 	// Sealer seals blocks on both tiers; required.
 	Sealer blockcipher.Sealer
 	// RNG drives all randomness; required and must be dedicated.
@@ -330,13 +337,14 @@ func construct(cfg Config) (*ORAM, error) {
 		return nil, err
 	}
 	memCfg := pathoram.Config{
-		Blocks:      cfg.Blocks,
-		BlockSize:   cfg.BlockSize,
-		Z:           cfg.Z,
-		Capacity:    geom.Slots(),
-		Sealer:      cfg.Sealer,
-		RNG:         cfg.RNG.Fork("mem-oram"),
-		SealWorkers: cfg.SealWorkers,
+		Blocks:       cfg.Blocks,
+		BlockSize:    cfg.BlockSize,
+		Z:            cfg.Z,
+		Capacity:     geom.Slots(),
+		Sealer:       cfg.Sealer,
+		RNG:          cfg.RNG.Fork("mem-oram"),
+		SealWorkers:  cfg.SealWorkers,
+		ConstantTime: cfg.ConstantTime,
 	}
 	o.mem, err = pathoram.New(memCfg, o.memDev)
 	if err != nil {

@@ -54,6 +54,8 @@ package okv
 import (
 	"bytes"
 	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -61,6 +63,7 @@ import (
 	"repro/internal/blockcipher"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/ctops"
 	"repro/internal/snapshot"
 )
 
@@ -116,6 +119,15 @@ type Options struct {
 	Insecure bool
 	// Seed is the insecure-mode PRF seed; empty selects a fixed one.
 	Seed string
+	// ConstantTime makes the trusted-memory half of every operation
+	// branchless on secret state: target-slot selection scans all 2S
+	// candidates with masked compares (crypto/subtle) instead of
+	// breaking at the first match, and batch-3 contents are composed
+	// with masked copies. The backend request stream is byte-for-byte
+	// identical to the default mode; only the CPU-side timing channel
+	// closes. Pair it with the engine's config.WithConstantTime so
+	// the block layer below is hardened too.
+	ConstantTime bool
 }
 
 // Shape is the fixed per-operation access shape: every Get, Set and
@@ -156,6 +168,7 @@ type Store struct {
 	be  Backend
 	lay layout
 	prf *blockcipher.PRF
+	ct  bool // constant-time selection and batch-3 composition
 
 	quiesce sync.RWMutex            // ops hold R; Checkpoint/Close hold W
 	stripes [lockStripes]sync.Mutex // bucket-striped op exclusion
@@ -205,26 +218,44 @@ type opScratch struct {
 	extData  [][]byte // batch-3 extent payload views
 	slotBuf  []byte   // batch-3 slot encode / delete scrub
 	extBufs  [][]byte // batch-3 extent encodes, one backing slab
+
+	// Constant-time mode scratch: the padded probe key, per-candidate
+	// occupancy masks, the gathered target slot read-back, and the
+	// masked-composed batch-3 payloads.
+	keyBuf    []byte
+	occs      []int
+	slotRead  []byte
+	writeSlot []byte
+	extWrite  [][]byte // one backing slab
 }
 
 func newOpScratch(lay layout) *opScratch {
 	S, E := lay.slots, lay.extents
 	sc := &opScratch{
-		slotIdx:  make([]int64, 2*S),
-		entries:  make([]slotEntry, 2*S),
-		lookupRs: make([]core.Request, 2*S),
-		lookups:  make([]*core.Request, 2*S),
-		extRs:    make([]core.Request, E),
-		extReads: make([]*core.Request, E),
-		writeRs:  make([]core.Request, 1+E),
-		writes:   make([]*core.Request, 1+E),
-		extData:  make([][]byte, E),
-		slotBuf:  make([]byte, lay.blockSize),
-		extBufs:  make([][]byte, E),
+		slotIdx:   make([]int64, 2*S),
+		entries:   make([]slotEntry, 2*S),
+		lookupRs:  make([]core.Request, 2*S),
+		lookups:   make([]*core.Request, 2*S),
+		extRs:     make([]core.Request, E),
+		extReads:  make([]*core.Request, E),
+		writeRs:   make([]core.Request, 1+E),
+		writes:    make([]*core.Request, 1+E),
+		extData:   make([][]byte, E),
+		slotBuf:   make([]byte, lay.blockSize),
+		extBufs:   make([][]byte, E),
+		keyBuf:    make([]byte, lay.maxKey),
+		occs:      make([]int, 2*S),
+		slotRead:  make([]byte, lay.blockSize),
+		writeSlot: make([]byte, lay.blockSize),
+		extWrite:  make([][]byte, E),
 	}
 	backing := make([]byte, E*lay.blockSize)
 	for j := range sc.extBufs {
 		sc.extBufs[j] = backing[j*lay.blockSize : (j+1)*lay.blockSize]
+	}
+	ctBacking := make([]byte, E*lay.blockSize)
+	for j := range sc.extWrite {
+		sc.extWrite[j] = ctBacking[j*lay.blockSize : (j+1)*lay.blockSize]
 	}
 	for i := range sc.lookupRs {
 		sc.lookups[i] = &sc.lookupRs[i]
@@ -402,6 +433,7 @@ func New(opts Options) (*Store, error) {
 		be:           opts.Backend,
 		lay:          lay,
 		prf:          prf,
+		ct:           opts.ConstantTime,
 		submit:       make(chan *phaseReq, lockStripes),
 		combinerDone: make(chan struct{}),
 	}
@@ -591,60 +623,79 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 	if err := s.runBatch(sc.lookups); err != nil {
 		return nil, false, fmt.Errorf("okv: lookup batch: %w", err)
 	}
-	entries := sc.entries
-	for i := range sc.lookupRs {
-		e, err := s.lay.decodeSlot(sc.lookupRs[i].Result)
-		if err != nil {
-			return nil, false, fmt.Errorf("okv: slot %d of bucket %d: %w", i%S, sc.slotIdx[i]/int64(S), err)
-		}
-		entries[i] = e
-	}
-
 	// Classify and pick the target slot. Every path lands on exactly
-	// one of the 2S candidates.
-	target := -1
-	for i, e := range entries {
-		if e.occupied && bytes.Equal(e.key, key) {
-			target = i
-			found = true
-			break
+	// one of the 2S candidates. Both selectors make the same
+	// decisions (first key match in scan order; the freer bucket with
+	// ties to b0, then its first free slot; the PRF dummy on miss or
+	// full) so the two modes issue byte-identical backend traffic —
+	// they differ only in whether the scan branches on slot contents.
+	var (
+		target     int
+		tIdx       int64 // target's global slot index
+		full       bool
+		valLen     int
+		fndM, fulM int // CT-mode 0/1 masks for found/full
+	)
+	if s.ct {
+		tIdx, fndM, fulM, valLen = s.selectTargetCT(sc, kind, key)
+		found = fndM == 1
+		full = fulM == 1
+	} else {
+		entries := sc.entries
+		for i := range sc.lookupRs {
+			e, err := s.lay.decodeSlot(sc.lookupRs[i].Result)
+			if err != nil {
+				return nil, false, fmt.Errorf("okv: slot %d of bucket %d: %w", i%S, sc.slotIdx[i]/int64(S), err)
+			}
+			entries[i] = e
 		}
-	}
-	full := false
-	if !found {
-		if kind == opSet {
-			// Two-choice insert: the bucket with more free slots wins
-			// (ties to b0), then its first free slot.
-			free := [2]int{}
-			for i, e := range entries {
-				if !e.occupied {
-					free[i/S]++
-				}
+		target = -1
+		for i, e := range entries {
+			if e.occupied && bytes.Equal(e.key, key) {
+				target = i
+				found = true
+				break
 			}
-			half := 0
-			if free[1] > free[0] {
-				half = 1
-			}
-			if free[half] == 0 {
-				full = true
-				target = s.dummySlot(key)
-			} else {
-				for j := 0; j < S; j++ {
-					if !entries[half*S+j].occupied {
-						target = half*S + j
-						break
+		}
+		if !found {
+			if kind == opSet {
+				// Two-choice insert: the bucket with more free slots
+				// wins (ties to b0), then its first free slot.
+				free := [2]int{}
+				for i, e := range entries {
+					if !e.occupied {
+						free[i/S]++
 					}
 				}
+				half := 0
+				if free[1] > free[0] {
+					half = 1
+				}
+				if free[half] == 0 {
+					full = true
+					target = s.dummySlot(key)
+				} else {
+					for j := 0; j < S; j++ {
+						if !entries[half*S+j].occupied {
+							target = half*S + j
+							break
+						}
+					}
+				}
+			} else {
+				target = s.dummySlot(key)
 			}
-		} else {
-			target = s.dummySlot(key)
 		}
+		if found {
+			valLen = entries[target].valLen
+		}
+		tIdx = sc.slotIdx[target]
 	}
 
 	// Batch 2: read the target slot's fixed extent run. On the miss
 	// and full paths this is the dummy read that keeps the shape.
 	for j := range sc.extRs {
-		sc.extRs[j] = core.Request{Op: core.OpRead, Addr: s.lay.extentAddr(sc.slotIdx[target], j)}
+		sc.extRs[j] = core.Request{Op: core.OpRead, Addr: s.lay.extentAddr(tIdx, j)}
 	}
 	if err := s.runBatch(sc.extReads); err != nil {
 		return nil, false, fmt.Errorf("okv: extent batch: %w", err)
@@ -653,34 +704,40 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 	// Compute batch 3's contents: by default write back the exact
 	// bytes just read (a semantic no-op — the ORAM re-encrypts every
 	// write, so it is bus-indistinguishable from a mutation).
-	slotData := sc.lookupRs[target].Result
+	var slotData []byte
 	extData := sc.extData
 	for j := range sc.extRs {
 		extData[j] = sc.extRs[j].Result
 	}
-	switch {
-	case kind == opSet && !full:
-		s.lay.encodeSlotInto(sc.slotBuf, key, len(value))
-		s.lay.encodeValueInto(sc.extBufs, value)
-		slotData = sc.slotBuf
-		copy(extData, sc.extBufs)
-	case kind == opDel && found:
-		// Vacate the slot and scrub the extents so deleted values do
-		// not linger in the (encrypted) block image.
-		for i := range sc.slotBuf {
-			sc.slotBuf[i] = 0
+	if s.ct {
+		slotData = s.composeWritesCT(sc, kind, key, value, fndM, fulM, valLen, &val)
+		extData = sc.extWrite
+	} else {
+		slotData = sc.lookupRs[target].Result
+		switch {
+		case kind == opSet && !full:
+			s.lay.encodeSlotInto(sc.slotBuf, key, len(value))
+			s.lay.encodeValueInto(sc.extBufs, value)
+			slotData = sc.slotBuf
+			copy(extData, sc.extBufs)
+		case kind == opDel && found:
+			// Vacate the slot and scrub the extents so deleted values
+			// do not linger in the (encrypted) block image.
+			for i := range sc.slotBuf {
+				sc.slotBuf[i] = 0
+			}
+			s.lay.encodeValueInto(sc.extBufs, nil)
+			slotData = sc.slotBuf
+			copy(extData, sc.extBufs)
+		case kind == opGet && found:
+			val = s.lay.decodeValue(extData, valLen)
 		}
-		s.lay.encodeValueInto(sc.extBufs, nil)
-		slotData = sc.slotBuf
-		copy(extData, sc.extBufs)
-	case kind == opGet && found:
-		val = s.lay.decodeValue(extData, entries[target].valLen)
 	}
 
 	// Batch 3: one slot write plus the extent run.
-	sc.writeRs[0] = core.Request{Op: core.OpWrite, Addr: s.lay.slotAddr(sc.slotIdx[target]), Data: slotData}
+	sc.writeRs[0] = core.Request{Op: core.OpWrite, Addr: s.lay.slotAddr(tIdx), Data: slotData}
 	for j, d := range extData {
-		sc.writeRs[1+j] = core.Request{Op: core.OpWrite, Addr: s.lay.extentAddr(sc.slotIdx[target], j), Data: d}
+		sc.writeRs[1+j] = core.Request{Op: core.OpWrite, Addr: s.lay.extentAddr(tIdx, j), Data: d}
 	}
 	if err := s.runBatch(sc.writes); err != nil {
 		return nil, false, fmt.Errorf("okv: write batch: %w", err)
@@ -712,6 +769,125 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 		}
 	}
 	return val, found, nil
+}
+
+// selectTargetCT is the constant-time selector: one fixed-order pass
+// over all 2S candidate slots with masked compares picks the same
+// target the branching selector would — first key match in scan
+// order; otherwise for SET the freer bucket (ties to b0) and its
+// first free slot; otherwise the PRF dummy — and gathers the target's
+// global slot index and read-back bytes without a secret-indexed
+// load. The op kind is the caller's own request and so public;
+// everything derived from slot contents flows through 0/1 masks.
+// Returned found/full are 0/1 masks (they become caller-visible
+// outputs only after the pipeline completes).
+func (s *Store) selectTargetCT(sc *opScratch, kind opKind, key []byte) (tIdx int64, fnd, full, valLen int) {
+	S := s.lay.slots
+	// Probe key, zero-padded to the fixed compare window. Slot blocks
+	// zero-pad the key region past klen too (encodeSlotInto, and a
+	// fresh or scrubbed block is all zeros), so a full-window compare
+	// plus a length check is an exact key match even for keys with
+	// trailing zero bytes.
+	n := copy(sc.keyBuf, key)
+	for i := n; i < len(sc.keyBuf); i++ {
+		sc.keyBuf[i] = 0
+	}
+	tgt := 0
+	free0, free1 := 0, 0
+	for i := 0; i < 2*S; i++ {
+		raw := sc.lookupRs[i].Result
+		occ := int(subtle.ConstantTimeByteEq(raw[0], slotOccupied))
+		sc.occs[i] = occ
+		klen := int(binary.BigEndian.Uint16(raw[1:3]))
+		keyEq := occ & ctops.EqInt(klen, len(key)) &
+			subtle.ConstantTimeCompare(raw[slotHeaderLen:slotHeaderLen+s.lay.maxKey], sc.keyBuf)
+		m := keyEq & (fnd ^ 1) // first match in scan order wins
+		tgt = ctops.SelectInt(m, i, tgt)
+		valLen = ctops.SelectInt(m, int(binary.BigEndian.Uint32(raw[3:7])), valLen)
+		fnd |= m
+		if i < S { // public: loop index
+			free0 += occ ^ 1
+		} else {
+			free1 += occ ^ 1
+		}
+	}
+
+	// Miss-path target: first free slot of the freer half for SET,
+	// the PRF dummy otherwise (and for SET when both halves are
+	// full). hasFree doubles as the not-full mask.
+	half := ctops.LtInt(free0, free1) // free1 > free0 selects bucket 1
+	firstFree, hasFree := 0, 0
+	for i := 0; i < 2*S; i++ {
+		inHalf := ctops.EqInt(i/S, half)
+		pick := inHalf & (sc.occs[i] ^ 1) & (hasFree ^ 1)
+		firstFree = ctops.SelectInt(pick, i, firstFree)
+		hasFree |= pick
+	}
+	dummy := s.dummySlot(key) // stateless PRF: computing it on every path is free
+	if kind == opSet {        // public: the caller's own op kind
+		full = (fnd ^ 1) & (hasFree ^ 1)
+		ins := ctops.SelectInt(full, dummy, firstFree)
+		tgt = ctops.SelectInt(fnd, tgt, ins)
+	} else {
+		tgt = ctops.SelectInt(fnd, tgt, dummy)
+	}
+
+	// Gather the target's slot index and read-back bytes with a full
+	// masked pass instead of indexing by the secret tgt.
+	for i := 0; i < 2*S; i++ {
+		m := ctops.EqInt(i, tgt)
+		tIdx = ctops.Select64(m, sc.slotIdx[i], tIdx)
+		ctops.CopyBytes(m, sc.slotRead, sc.lookupRs[i].Result)
+	}
+
+	// Clamp the gathered value length arithmetically: the default
+	// selector relies on decodeSlot validation, which the masked scan
+	// skips (the sealer authenticates blocks, so an out-of-range
+	// length means table damage, not attacker input).
+	valLen = ctops.SelectInt(fnd, valLen, 0)
+	valLen = ctops.SelectInt(ctops.LtInt(s.lay.maxValue, valLen), s.lay.maxValue, valLen)
+	return tIdx, fnd, full, valLen
+}
+
+// composeWritesCT fills the batch-3 payload buffers (sc.writeSlot,
+// sc.extWrite) with masked copies: every op stages the gathered
+// read-back bytes, then the outcome mask overlays the freshly encoded
+// slot/value run. The staged bytes equal what the default mode writes
+// in every case — only the composition is branchless. For GET it also
+// produces the caller's value; trimming it to the hit/miss outcome is
+// a branch on the op's own return value, not on hidden state.
+func (s *Store) composeWritesCT(sc *opScratch, kind opKind, key, value []byte, fnd, full, valLen int, val *[]byte) []byte {
+	copy(sc.writeSlot, sc.slotRead)
+	for j := range sc.extWrite {
+		copy(sc.extWrite[j], sc.extRs[j].Result)
+	}
+	switch kind { // public: the caller's own op kind
+	case opSet:
+		s.lay.encodeSlotInto(sc.slotBuf, key, len(value))
+		s.lay.encodeValueInto(sc.extBufs, value)
+		use := full ^ 1
+		ctops.CopyBytes(use, sc.writeSlot, sc.slotBuf)
+		for j := range sc.extWrite {
+			ctops.CopyBytes(use, sc.extWrite[j], sc.extBufs[j])
+		}
+	case opDel:
+		// Vacate the slot and scrub the extents (masked: an absent
+		// key rewrites the dummy slot's bytes unchanged).
+		for i := range sc.slotBuf {
+			sc.slotBuf[i] = 0
+		}
+		s.lay.encodeValueInto(sc.extBufs, nil)
+		ctops.CopyBytes(fnd, sc.writeSlot, sc.slotBuf)
+		for j := range sc.extWrite {
+			ctops.CopyBytes(fnd, sc.extWrite[j], sc.extBufs[j])
+		}
+	case opGet:
+		v := s.lay.decodeValue(sc.extWrite, valLen)
+		if fnd == 1 { // the hit/miss outcome is returned to the caller
+			*val = v
+		}
+	}
+	return sc.writeSlot
 }
 
 // Get looks key up, returning ok=false when absent. A miss runs the

@@ -14,9 +14,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 
 	"repro/internal/blockcipher"
+	"repro/internal/ctops"
 	"repro/internal/device"
 	"repro/internal/oramtree"
 	"repro/internal/posmap"
@@ -67,6 +69,16 @@ type Config struct {
 	// recursive"); the recursive construction plugs in a store backed
 	// by smaller ORAMs here.
 	Positions PositionStore
+	// ConstantTime hardens the controller's trusted-memory work
+	// against a co-located timing adversary: the stash becomes a dense
+	// slot array scanned full-length in fixed order on every
+	// operation, the position map switches to scan lookups, and
+	// eviction selects blocks with branchless masks instead of
+	// early-exit loops. Device traffic (slots, order, sealed bytes and
+	// the RNG streams behind them) is byte-identical to the default
+	// mode; only in-memory computation changes. Requires the built-in
+	// position map (Positions must be nil).
+	ConstantTime bool
 }
 
 // PositionStore is the position-map dependency of the ORAM: logical
@@ -120,9 +132,20 @@ type ORAM struct {
 	geom  oramtree.Geometry
 	dev   device.Device
 	pm    PositionStore
-	stash *stash.Stash
+	stash stash.Store
 	real  int64 // blocks currently held (tree + stash)
 	stats Stats
+
+	// Constant-time mode state: the concrete stash and position map
+	// (the scan-based entry points live on the concrete types), plus
+	// the fixed-length eviction scratch.
+	ct         *stash.CT
+	pmCT       *posmap.PositionMap
+	ctAddrs    []int64 // full stash snapshot (Empty sentinels included)
+	ctLeaves   []int64 // joined leaf per snapshot slot
+	ctConsumed []int   // slots taken by the current writePath
+	ctElig     []int   // per-level eligibility masks
+	ctRanks    []int   // per-level eligible-prefix counts
 
 	// Steady-state scratch: one path's worth of slots, sealed records
 	// and plaintexts, allocated once so accesses allocate nothing.
@@ -163,22 +186,51 @@ func New(cfg Config, dev device.Device) (*ORAM, error) {
 	if dev.Slots() < geom.Slots() {
 		return nil, fmt.Errorf("pathoram: device has %d slots, tree needs %d", dev.Slots(), geom.Slots())
 	}
-	pm := cfg.Positions
+	var pm PositionStore = cfg.Positions
+	var pmCT *posmap.PositionMap
 	if pm == nil {
-		var err error
-		pm, err = posmap.NewPositionMap(cfg.Blocks, geom.Leaves(), cfg.RNG.Fork("posmap"))
+		native, err := posmap.NewPositionMap(cfg.Blocks, geom.Leaves(), cfg.RNG.Fork("posmap"))
 		if err != nil {
 			return nil, err
 		}
+		pm, pmCT = native, native
+	} else if cfg.ConstantTime {
+		return nil, errors.New("pathoram: ConstantTime requires the built-in position map (Positions must be nil)")
+	}
+	var st stash.Store
+	var ct *stash.CT
+	if cfg.ConstantTime {
+		pmCT.SetConstantTime(true)
+		// The fixed scan length: the stash can never hold more real
+		// blocks than the tree has slots, so the whole-tree bound is a
+		// safe capacity when no explicit limit is configured.
+		ctCap := cfg.StashLimit
+		if ctCap == 0 {
+			ctCap = int(geom.Slots())
+		}
+		ct = stash.NewConstantTime(ctCap, cfg.BlockSize)
+		st = ct
+	} else {
+		st = stash.New(cfg.StashLimit)
 	}
 	o := &ORAM{
 		cfg:     cfg,
 		geom:    geom,
 		dev:     dev,
 		pm:      pm,
-		stash:   stash.New(cfg.StashLimit),
+		pmCT:    pmCT,
+		stash:   st,
+		ct:      ct,
 		workers: resolveWorkers(cfg.SealWorkers),
 		ptSize:  headerSize + cfg.BlockSize,
+	}
+	if ct != nil {
+		ctCap := ct.Capacity()
+		o.ctAddrs = make([]int64, 0, ctCap)
+		o.ctLeaves = make([]int64, ctCap)
+		o.ctConsumed = make([]int, ctCap)
+		o.ctElig = make([]int, ctCap)
+		o.ctRanks = make([]int, ctCap)
 	}
 	o.dummyPt = make([]byte, o.ptSize)
 	o.encodePt(o.dummyPt, dummyAddr, nil)
@@ -332,6 +384,20 @@ func (o *ORAM) readPath(leaf int64) error {
 	if err := blockcipher.OpenBatch(o.cfg.Sealer, o.pathSealed[:n], o.pathPt[:n], o.workers); err != nil {
 		return fmt.Errorf("pathoram: path to leaf %d: %w", leaf, err)
 	}
+	if o.ct != nil {
+		// Constant-time absorption: every slot of the path runs the
+		// same masked Put, so which of them carried real blocks never
+		// shows in the touch sequence.
+		for i := 0; i < n; i++ {
+			pt := o.pathPt[i]
+			addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
+			real := ctops.Eq64(addr, dummyAddr) ^ 1
+			if err := o.ct.PutMasked(real, addr, pt[headerSize:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for i := 0; i < n; i++ {
 		pt := o.pathPt[i]
 		addr := int64(binary.BigEndian.Uint64(pt[:headerSize]))
@@ -359,6 +425,9 @@ func (o *ORAM) readPath(leaf int64) error {
 // yields the same per-level candidates, in the same ascending order,
 // as re-enumerating the stash at every level.
 func (o *ORAM) writePath(leaf int64) error {
+	if o.ct != nil {
+		return o.ctWritePath(leaf)
+	}
 	path := o.geom.Path(leaf)
 	n := 0
 	src := o.sealSrc[:0]
@@ -414,6 +483,85 @@ func (o *ORAM) writePath(leaf int64) error {
 		o.free = append(o.free, buf)
 	}
 	return nil
+}
+
+// ctCommonLevel is the branchless CommonLevel: bits.Len64 compiles to
+// a count-leading-zeros instruction, and Len64(0) == 0 already yields
+// the full-depth answer, so no equality branch is needed. Callers mask
+// the result when a or b is not a valid leaf.
+func ctCommonLevel(levels int, a, b int64) int {
+	return levels - bits.Len64(uint64(a^b))
+}
+
+// ctWritePath is writePath under ConstantTime: the same eviction
+// decisions (ascending-address candidates, deepest level first, up to
+// Z per bucket, identical tie-breaks) computed with full-length
+// fixed-order scans and branchless masks, so neither the stash
+// occupancy nor which blocks are eligible shows in the touch sequence.
+// The staged plaintexts, slot order and seal-nonce order are exactly
+// the default path's, so the sealed device traffic is byte-identical.
+//
+// One snapshot of the stash and one scan-join against the position map
+// serve the whole path, mirroring the default path's single sorted
+// snapshot; consumed slots are marked in a mask and removed from the
+// stash in a fixed number of masked passes at the end.
+func (o *ORAM) ctWritePath(leaf int64) error {
+	capn := o.ct.Capacity()
+	addrs := o.ct.SnapshotAddrs(o.ctAddrs[:0])
+	o.ctAddrs = addrs[:0]
+	leaves := o.ctLeaves[:capn]
+	o.pmCT.GetBatch(addrs, leaves)
+	consumed := o.ctConsumed[:capn]
+	for i := range consumed {
+		consumed[i] = 0
+	}
+	elig := o.ctElig[:capn]
+	ranks := o.ctRanks[:capn]
+
+	path := o.geom.Path(leaf)
+	n := 0
+	src := o.sealSrc[:0]
+	for level := o.geom.Levels; level >= 0; level-- {
+		base := o.geom.SlotBase(path[level])
+		// Eligibility and rank of every candidate at this level. The
+		// Empty sentinel joins to NoLeaf, so unoccupied slots are
+		// masked out without a branch.
+		r := 0
+		for i := 0; i < capn; i++ {
+			mapped := ctops.Eq64(leaves[i], posmap.NoLeaf) ^ 1
+			cl := ctCommonLevel(o.geom.Levels, leaves[i], leaf)
+			e := (consumed[i] ^ 1) & mapped & ctops.GeInt(cl, level)
+			elig[i] = e
+			ranks[i] = r
+			r += e
+		}
+		// Slot z receives the z-th eligible candidate in ascending
+		// address order (the snapshot is sorted), or a dummy when the
+		// level has fewer than Z — the same packing as the default
+		// path's take-in-order loop.
+		for z := 0; z < o.cfg.Z; z++ {
+			pt := o.pathPt[n]
+			o.encodePt(pt, dummyAddr, nil)
+			slotAddr := dummyAddr
+			for i := 0; i < capn; i++ {
+				m := elig[i] & ctops.EqInt(ranks[i], z)
+				slotAddr = ctops.Select64(m, addrs[i], slotAddr)
+				o.ct.CopySlotMasked(m, i, pt[headerSize:])
+				consumed[i] |= m
+			}
+			binary.BigEndian.PutUint64(pt[:headerSize], uint64(slotAddr))
+			src = append(src, pt)
+			o.pathSlots[n] = base + int64(z)
+			n++
+		}
+		o.stats.BucketWrites++
+	}
+	o.ct.RemoveMasked(consumed, (o.geom.Levels+1)*o.cfg.Z)
+	o.sealSrc = src[:0]
+	if err := blockcipher.SealBatch(o.cfg.Sealer, src, o.pathSealed[:n], o.workers); err != nil {
+		return err
+	}
+	return device.WriteSlots(o.dev, o.pathSlots[:n], o.pathSealed[:n])
 }
 
 // Access performs one Path ORAM operation. For OpRead, data is ignored

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/blockcipher"
+	"repro/internal/ctops"
 )
 
 // NoLeaf marks a position-map entry whose block is not currently
@@ -21,6 +22,7 @@ type PositionMap struct {
 	leaves []int64
 	nLeaf  int64
 	rng    *blockcipher.RNG
+	ct     bool
 }
 
 // NewPositionMap creates a map for `blocks` addresses over a tree with
@@ -56,10 +58,42 @@ func (m *PositionMap) check(addr int64) error {
 	return nil
 }
 
+// SetConstantTime switches the map's lookup discipline. When on,
+// Get/Set/Remap stop indexing the leaf array by address — a
+// secret-dependent memory access a co-located adversary can observe
+// through the cache — and instead run one full-length fixed-order scan
+// per call with branchless selects, so the touch sequence depends only
+// on the map's public size. Results are identical in both modes.
+func (m *PositionMap) SetConstantTime(on bool) { m.ct = on }
+
+// ConstantTime reports whether the scan discipline is active.
+func (m *PositionMap) ConstantTime() bool { return m.ct }
+
+// ctGet scans the whole leaf array for addr's entry.
+func (m *PositionMap) ctGet(addr int64) int64 {
+	leaf := NoLeaf
+	for j := range m.leaves {
+		mm := ctops.Eq64(int64(j), addr)
+		leaf = ctops.Select64(mm, m.leaves[j], leaf)
+	}
+	return leaf
+}
+
+// ctSet writes leaf into addr's entry via a masked full-length pass.
+func (m *PositionMap) ctSet(addr, leaf int64) {
+	for j := range m.leaves {
+		mm := ctops.Eq64(int64(j), addr)
+		m.leaves[j] = ctops.Select64(mm, leaf, m.leaves[j])
+	}
+}
+
 // Get returns the leaf addr is mapped to, or NoLeaf.
 func (m *PositionMap) Get(addr int64) (int64, error) {
 	if err := m.check(addr); err != nil {
 		return 0, err
+	}
+	if m.ct {
+		return m.ctGet(addr), nil
 	}
 	return m.leaves[addr], nil
 }
@@ -72,19 +106,49 @@ func (m *PositionMap) Set(addr, leaf int64) error {
 	if leaf != NoLeaf && (leaf < 0 || leaf >= m.nLeaf) {
 		return fmt.Errorf("posmap: leaf %d out of range [0,%d)", leaf, m.nLeaf)
 	}
+	if m.ct {
+		m.ctSet(addr, leaf)
+		return nil
+	}
 	m.leaves[addr] = leaf
 	return nil
 }
 
 // Remap assigns addr a fresh uniformly random leaf and returns it.
 // This is the remap-on-access at the heart of Path ORAM's security.
+// The RNG draw order is identical in both lookup disciplines, so the
+// leaf streams — and therefore the device traces — match across modes.
 func (m *PositionMap) Remap(addr int64) (int64, error) {
 	if err := m.check(addr); err != nil {
 		return 0, err
 	}
 	leaf := m.rng.Int63n(m.nLeaf)
+	if m.ct {
+		m.ctSet(addr, leaf)
+		return leaf, nil
+	}
 	m.leaves[addr] = leaf
 	return leaf, nil
+}
+
+// GetBatch fills dst[i] with the leaf addrs[i] maps to (NoLeaf for
+// addresses outside the map, such as the constant-time stash's Empty
+// sentinel), in one pass over the leaf array regardless of how many
+// addresses are asked for. pathoram's constant-time eviction uses it
+// to join a fixed-length stash snapshot against the map without
+// per-candidate indexed loads. dst must be as long as addrs.
+func (m *PositionMap) GetBatch(addrs, dst []int64) {
+	for i := range dst {
+		dst[i] = NoLeaf
+	}
+	for j := range m.leaves {
+		lj := m.leaves[j]
+		jj := int64(j)
+		for i := range addrs {
+			mm := ctops.Eq64(addrs[i], jj)
+			dst[i] = ctops.Select64(mm, lj, dst[i])
+		}
+	}
 }
 
 // RemapAll assigns every address an independent random leaf.

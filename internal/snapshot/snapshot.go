@@ -241,9 +241,14 @@ type Manifest struct {
 	// are state-compatible at period boundaries, but the operator's
 	// latency expectations (and any recorded baselines) are not.
 	MonolithicShuffle bool
-	Insecure          bool
-	Seed              string
-	Epoch             uint64
+	// ConstantTime is echoed so an image persisted under one
+	// controller mode is not silently resumed under the other: the
+	// modes are state-compatible (identical sealed bytes), but the
+	// operator's timing-hardening expectations are not.
+	ConstantTime bool
+	Insecure     bool
+	Seed         string
+	Epoch        uint64
 
 	// KV is the oblivious key–value subsystem's directory state when
 	// the image belongs to a KV store (nil for raw block images). It

@@ -1,0 +1,93 @@
+// Statistics unit tests on synthetic data — no clocks involved, so
+// they are deterministic and safe under -shuffle.
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrim(t *testing.T) {
+	in := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 1000}
+	got := Trim(in, 0.1) // drops one from each tail
+	if len(got) != 8 {
+		t.Fatalf("Trim kept %d samples, want 8", len(got))
+	}
+	if got[0] != 2 || got[len(got)-1] != 9 {
+		t.Fatalf("Trim range [%v, %v], want [2, 9]", got[0], got[len(got)-1])
+	}
+	// The input slice must not be reordered.
+	if in[0] != 9 || in[9] != 1000 {
+		t.Fatal("Trim mutated its input")
+	}
+	// Pathological fractions still keep at least one sample.
+	if got := Trim([]float64{3, 1, 2}, 0.9); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("over-trim kept %v, want the single median sample", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("Summarize = %+v, want N=8 Mean=5", s)
+	}
+	// Unbiased variance: sum of squares 32 over n-1 = 7.
+	if want := 32.0 / 7.0; math.Abs(s.Variance-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 || z.Variance != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestWelch(t *testing.T) {
+	a := Stats{N: 100, Mean: 105, Variance: 25}
+	b := Stats{N: 100, Mean: 100, Variance: 25}
+	// se = sqrt(25/100 + 25/100) = sqrt(0.5); t = 5/se.
+	want := 5 / math.Sqrt(0.5)
+	if got := Welch(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Welch = %v, want %v", got, want)
+	}
+	// Antisymmetric in the sides.
+	if got := Welch(b, a); math.Abs(got+want) > 1e-12 {
+		t.Fatalf("Welch swapped = %v, want %v", got, -want)
+	}
+	// Degenerate cases threshold cleanly.
+	if got := Welch(Stats{}, b); got != 0 {
+		t.Fatalf("Welch with empty side = %v, want 0", got)
+	}
+	same := Stats{N: 10, Mean: 3}
+	if got := Welch(same, same); got != 0 {
+		t.Fatalf("Welch zero-spread equal means = %v, want 0", got)
+	}
+	if got := Welch(Stats{N: 10, Mean: 4}, same); got < 1e8 {
+		t.Fatalf("Welch zero-spread unequal means = %v, want large positive", got)
+	}
+}
+
+func TestMeasurePairSeparatesLoads(t *testing.T) {
+	// Two synthetic ops with a grossly different amount of real work:
+	// the harness must rank A slower than B with high confidence, and a
+	// pair of identical ops must stay well below the bench gate's
+	// threshold. Kept tiny so the test is fast even under -race.
+	sink := 0
+	heavy := func() {
+		for i := 0; i < 20000; i++ {
+			sink += i
+		}
+	}
+	light := func() {
+		for i := 0; i < 100; i++ {
+			sink += i
+		}
+	}
+	opts := Options{Samples: 300}
+	res := MeasurePair(opts, heavy, light)
+	if res.T < 10 {
+		t.Fatalf("heavy-vs-light t = %v, want strongly positive", res.T)
+	}
+	if res.A.N != 240 || res.B.N != 240 { // 300 trimmed by 10% each tail
+		t.Fatalf("trimmed sizes %d/%d, want 240/240", res.A.N, res.B.N)
+	}
+	_ = sink
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Timing-variance gate: run the statistical distinguishability
+# experiment (cmd/horam-bench -exp timing) and fail unless BOTH hold:
+#
+#   ct_pass     — with ConstantTime on, every adversarial workload pair
+#                 stays under the Welch |t| threshold;
+#   detect_pass — in default mode the stash canary pair exceeds the
+#                 same threshold, proving the harness can actually see
+#                 the channel it gates (a blind gate proves nothing).
+#
+#   ./scripts/timing_gate.sh            run the gate
+#   ./scripts/timing_gate.sh -update    also rewrite BENCH_timing.json
+#
+# Env: TIMING_GATE_SKIP=1 skips entirely — the escape hatch for
+# pathologically noisy shared runners where even the generous
+# threshold cannot hold.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${TIMING_GATE_SKIP:-0}" = "1" ]; then
+    echo "timing gate: skipped (TIMING_GATE_SKIP=1)"
+    exit 0
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+if [ "${1:-}" = "-update" ]; then
+    out="BENCH_timing.json"
+    trap - EXIT
+fi
+
+go run ./cmd/horam-bench -exp timing -out "$out"
+
+fail=0
+if ! grep -q '"ct_pass": true' "$out"; then
+    echo "timing gate: FAIL — a constant-time pair is statistically distinguishable" >&2
+    fail=1
+fi
+if ! grep -q '"detect_pass": true' "$out"; then
+    echo "timing gate: FAIL — the default-mode canary was not detected; the harness has lost its power" >&2
+    fail=1
+fi
+if [ "$fail" = "0" ]; then
+    echo "timing gate: PASS (constant-time pairs indistinguishable, canary detectable)"
+fi
+exit "$fail"
