@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke fmt
+.PHONY: ci build vet fmt-check lint test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke fmt
 
-ci: build vet fmt-check test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke
+ci: build vet fmt-check lint test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,14 @@ test:
 test-shuffle:
 	$(GO) test -shuffle=on -count=1 ./...
 
+# Static analysis: the repo's own obliviousness linter (horam-lint:
+# ctflow, ctmask, errdrop) plus staticcheck and govulncheck when
+# installed. See README "Static obliviousness guarantees".
+lint:
+	./scripts/lint.sh
+
 race:
-	$(GO) test -race ./internal/horam ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/bench ./internal/okv ./internal/blockcipher ./internal/device ./internal/pathoram
+	$(GO) test -race ./...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

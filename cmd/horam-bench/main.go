@@ -51,7 +51,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "horam-bench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Close() //horam:errok the profile is flushed by StopCPUProfile; the process is exiting
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "horam-bench:", err)
 			os.Exit(1)
@@ -66,7 +66,9 @@ func main() {
 		if merr == nil {
 			runtime.GC() // settle live-heap numbers before the snapshot
 			merr = pprof.WriteHeapProfile(f)
-			f.Close()
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
 		}
 		if merr != nil && err == nil {
 			err = merr

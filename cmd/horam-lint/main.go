@@ -1,0 +1,128 @@
+// Command horam-lint is the multichecker driver for the repository's
+// obliviousness analyzers: ctflow (secret-dependent control flow in
+// //horam:constant-time code), ctmask (ctops mask-operand provenance)
+// and errdrop (dropped errors on snapshot/device/Close/Sync paths).
+//
+// Usage:
+//
+//	horam-lint [-c ctflow,ctmask,errdrop] [packages]
+//
+// Packages default to ./... relative to the working directory. The
+// exit status is 1 when any diagnostic is reported, 2 on operational
+// failure, so CI can gate on it like any other checker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctflow"
+	"repro/internal/lint/ctmask"
+	"repro/internal/lint/errdrop"
+	"repro/internal/lint/load"
+)
+
+var all = []*analysis.Analyzer{ctflow.Analyzer, ctmask.Analyzer, errdrop.Analyzer}
+
+func main() {
+	checks := flag.String("c", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: horam-lint [-c names] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	enabled := all
+	if *checks != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		enabled = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "horam-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			enabled = append(enabled, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := load.Packages(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	type diag struct {
+		pos  string
+		name string
+		msg  string
+	}
+	var diags []diag
+	for _, pkg := range pkgs {
+		for _, a := range enabled {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, diag{pkg.Fset.Position(d.Pos).String(), name, d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err))
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].name < diags[j].name
+	})
+	seen := map[diag]bool{}
+	bad := false
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		fmt.Printf("%s: [%s] %s\n", d.pos, d.name, d.msg)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horam-lint:", err)
+	os.Exit(2)
+}

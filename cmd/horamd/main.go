@@ -272,7 +272,9 @@ func main() {
 	go func() {
 		s := <-sig
 		log.Printf("horamd: %v: shutting down", s)
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("horamd: server close: %v", err)
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {
@@ -310,5 +312,7 @@ func main() {
 			sh.Shard, sh.Blocks, sh.Batches, sh.Requests, sh.MeanBatch,
 			engine.FormatHist(sh.Hist), sh.Cycles, sh.PadCycles, sh.Shuffles)
 	}
-	eng.Close()
+	if err := eng.Close(); err != nil {
+		log.Printf("horamd: engine close: %v", err)
+	}
 }

@@ -58,7 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
+	defer eng.Close() //horam:errok example teardown; the demo output is already printed
 
 	be := &countingBackend{Engine: eng}
 	store, err := okv.New(okv.Options{

@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer c.Close() //horam:errok example teardown; the demo output is already printed
 
 	// Store a document, read it back.
 	doc := "the quick brown fox jumps over the lazy dog"

@@ -61,7 +61,7 @@ func runConcurrencyOne(clients, perClient int) (ConcurrencyRow, error) {
 	if err != nil {
 		return ConcurrencyRow{}, err
 	}
-	defer store.Close()
+	defer store.Close() //horam:errok bench teardown; the measured run is already over
 	srv, err := server.New(server.Config{Engine: store})
 	if err != nil {
 		return ConcurrencyRow{}, err
@@ -71,7 +71,7 @@ func runConcurrencyOne(clients, perClient int) (ConcurrencyRow, error) {
 		return ConcurrencyRow{}, err
 	}
 	go srv.Serve(ln)
-	defer srv.Close()
+	defer srv.Close() //horam:errok bench teardown; the measured run is already over
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -109,7 +109,7 @@ func driveConcurrencyClient(addr string, id, ops, region, blockSize int) error {
 	if err != nil {
 		return err
 	}
-	defer c.Close()
+	defer c.Close() //horam:errok bench teardown; the measured run is already over
 	base := int64(id * region)
 	rng := blockcipher.NewRNGFromString(fmt.Sprint("bench-client-", id))
 	payload := bytes.Repeat([]byte{byte(id + 1)}, blockSize)

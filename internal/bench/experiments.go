@@ -107,26 +107,26 @@ func RunTable52() ([]Table52Row, error) {
 
 		t0 := clk.Now()
 		for i := int64(0); i < slots; i++ {
-			d.Read(i, buf)
+			d.Read(i, buf) //horam:errok in-range read on a simulated device; the loop measures the clock, not the data
 		}
 		seqRead := float64(slots*slotSize) / clk.Now().Seconds() / (1 << 20)
 
 		t0 = clk.Now()
 		for i := int64(0); i < slots; i++ {
-			d.Write(i, buf)
+			d.Write(i, buf) //horam:errok in-range write on a simulated device; the loop measures the clock, not the data
 		}
 		seqWrite := float64(slots*slotSize) / (clk.Now() - t0).Seconds() / (1 << 20)
 
 		t0 = clk.Now()
 		const randOps = 512
 		for i := int64(0); i < randOps; i++ {
-			d.Read((i*2053)%slots, buf)
+			d.Read((i*2053)%slots, buf) //horam:errok in-range read on a simulated device; the loop measures the clock, not the data
 		}
 		randRead := (clk.Now() - t0) / randOps
 
 		t0 = clk.Now()
 		for i := int64(0); i < randOps; i++ {
-			d.Write((i*2053)%slots, buf)
+			d.Write((i*2053)%slots, buf) //horam:errok in-range write on a simulated device; the loop measures the clock, not the data
 		}
 		randWrite := (clk.Now() - t0) / randOps
 
@@ -181,7 +181,7 @@ func RunSeqVsRand() (SeqVsRand, error) {
 		return SeqVsRand{}, err
 	}
 	for i := int64(0); i < slots; i++ {
-		dSeq.Read(i, buf)
+		dSeq.Read(i, buf) //horam:errok in-range read on a simulated device; the loop measures the clock, not the data
 	}
 
 	dRand, cRand, err := mk()
@@ -189,7 +189,7 @@ func RunSeqVsRand() (SeqVsRand, error) {
 		return SeqVsRand{}, err
 	}
 	for i := int64(0); i < slots; i++ {
-		dRand.Read((i*4099)%slots, buf)
+		dRand.Read((i*4099)%slots, buf) //horam:errok in-range read on a simulated device; the loop measures the clock, not the data
 	}
 	out := SeqVsRand{
 		Slots:      slots,

@@ -96,7 +96,7 @@ func runKVOne(shards int, p KVParams) (KVRow, error) {
 	if err != nil {
 		return KVRow{}, err
 	}
-	defer e.Close()
+	defer e.Close() //horam:errok bench teardown; the measured run is already over
 	s, err := okv.New(okv.Options{
 		Backend:        e,
 		SlotsPerBucket: p.SlotsPerBucket,

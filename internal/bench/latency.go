@@ -130,7 +130,7 @@ func runLatencyOne(shards int, monolithic bool, modeName string, p LatencyParams
 	if err != nil {
 		return LatencyRow{}, err
 	}
-	defer e.Close()
+	defer e.Close() //horam:errok bench teardown; the measured run is already over
 
 	// The shard benchmark's workload shape: 80/20 hot-spot reads with a
 	// write every fourth request.

@@ -96,7 +96,7 @@ func runShardOne(shards int, p ShardParams) (ShardRow, error) {
 	if err != nil {
 		return ShardRow{}, err
 	}
-	defer e.Close()
+	defer e.Close() //horam:errok bench teardown; the measured run is already over
 
 	// One seeded workload for every shard count: 80/20 hot-spot reads
 	// with a write every fourth request.

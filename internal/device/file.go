@@ -73,17 +73,17 @@ func NewFile(cfg FileConfig) (*File, error) {
 	want := int64(cfg.SlotSize) * cfg.Slots
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //horam:errok abandoning the handle; the stat error is the one to surface
 		return nil, fmt.Errorf("device: %w", err)
 	}
 	if st.Size() != 0 && st.Size() != want {
-		f.Close()
+		f.Close() //horam:errok abandoning the handle; nothing was written
 		return nil, fmt.Errorf("device: %s is %d bytes; geometry %d x %d needs %d (refusing to reuse a file with different geometry)",
 			cfg.Path, st.Size(), cfg.Slots, cfg.SlotSize, want)
 	}
 	if st.Size() != want {
 		if err := f.Truncate(want); err != nil {
-			f.Close()
+			f.Close() //horam:errok abandoning the handle; the preallocate error is the one to surface
 			return nil, fmt.Errorf("device: preallocate %s: %w", cfg.Path, err)
 		}
 	}
@@ -272,7 +272,7 @@ func (d *File) Syncs() int64 { return d.syncs }
 // afterwards.
 func (d *File) Close() error {
 	if err := d.f.Sync(); err != nil {
-		d.f.Close()
+		d.f.Close() //horam:errok the fsync failure is the durability signal; close is best effort after it
 		return fmt.Errorf("device %s: fsync %s: %w", d.profile.Name, d.path, err)
 	}
 	return d.f.Close()

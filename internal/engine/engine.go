@@ -336,7 +336,7 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 			for _, sh := range e.shards {
 				close(sh.kick)
 				<-sh.done
-				sh.client.Close()
+				sh.client.Close() //horam:errok unwinding a failed construction; the shard-open error is the one to surface
 			}
 			return nil, fmt.Errorf("engine: shard %d: %w", s, err)
 		}
@@ -351,7 +351,7 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 		e.shards = append(e.shards, sh)
 	}
 	if err := e.wireManifest(opts, prf); err != nil {
-		e.Close()
+		e.Close() //horam:errok unwinding a failed construction; the manifest error is the one to surface
 		return nil, err
 	}
 	return e, nil
@@ -569,15 +569,17 @@ func (e *Engine) Write(addr int64, data []byte) error {
 // goroutines and releases the shards' durable-backend resources. It
 // does not snapshot; callers that want the latest control state
 // persisted call SaveSnapshot first. Batch calls after Close return
-// ErrClosed. Safe to call more than once.
-func (e *Engine) Close() {
+// ErrClosed. Safe to call more than once; the returned error is the
+// join of the shards' backend-release failures (nil for a pure
+// simulation, and nil on repeat calls — resources are already gone).
+func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		for _, sh := range e.shards {
 			<-sh.done
 		}
-		return
+		return nil
 	}
 	e.closed = true
 	e.mu.Unlock()
@@ -585,10 +587,12 @@ func (e *Engine) Close() {
 	for _, sh := range e.shards {
 		close(sh.kick)
 	}
+	var err error
 	for _, sh := range e.shards {
 		<-sh.done
-		sh.client.Close()
+		err = errors.Join(err, sh.client.Close())
 	}
+	return err
 }
 
 // Summary aggregates scheme counters across shards. SimTime is the

@@ -20,7 +20,7 @@ func testEngine(t *testing.T, shards int) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 
@@ -102,7 +102,7 @@ func TestPartitionIsKeyed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(e.Close)
+		t.Cleanup(func() { e.Close() })
 		return e
 	}
 	a, b := mk("seed-a"), mk("seed-b")

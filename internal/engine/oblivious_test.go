@@ -58,7 +58,7 @@ func obliviousEngine(t *testing.T, shards int, monolithic bool, seed string) (*E
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 
 	recs := make([]*trace.Recorder, shards)
 	for i := 0; i < shards; i++ {
@@ -302,7 +302,7 @@ func TestFullTraceWorkloadIndependent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(e.Close)
+		t.Cleanup(func() { e.Close() })
 		recs := make([]*trace.Recorder, shards)
 		for i := 0; i < shards; i++ {
 			rec := trace.NewRecorder()

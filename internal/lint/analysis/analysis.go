@@ -1,0 +1,55 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named
+// check, a Pass hands it one type-checked package, and diagnostics
+// flow back through Report. The build environment for this repository
+// is offline (no module proxy), so rather than vendoring x/tools the
+// lint suite runs on this shim; the analyzer API mirrors the upstream
+// shape closely enough that porting to the real framework is a
+// mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -c filters. It
+	// must be a valid identifier.
+	Name string
+
+	// Doc documents what the analyzer reports and what it deliberately
+	// trusts. The first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the unit of work handed to an Analyzer: one type-checked
+// package plus a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver deduplicates and
+	// orders; analyzers just emit.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

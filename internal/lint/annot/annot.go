@@ -1,0 +1,277 @@
+// Package annot parses the //horam: annotation vocabulary the lint
+// analyzers consume:
+//
+//	//horam:constant-time   on a function's doc comment marks that
+//	                        function as constant-time code (ctflow
+//	                        scope); as a free-standing or package-doc
+//	                        comment it marks every function in the file.
+//	//horam:secret          with no names marks the identifiers declared
+//	                        on its line (or, for a doc-position comment,
+//	                        the line below) as secret taint roots: struct
+//	                        fields, vars, short declarations.
+//	//horam:secret a b      with names marks the objects of those names
+//	                        declared inside the enclosing function
+//	                        (parameters, named results, locals).
+//	//horam:mask            on a function's doc comment declares that the
+//	                        function returns established 0-or-1 masks:
+//	                        ctmask trusts its results as mask sources and
+//	                        ctflow treats its calls as laundering.
+//	//horam:ct-ok           on a line suppresses ctflow diagnostics
+//	                        reported there — an audited, documented
+//	                        deviation from constant time.
+//	//horam:errok           on a line suppresses errdrop diagnostics
+//	                        there — a visible decision to drop an error.
+//
+// Annotations are comments, so they carry no runtime cost and no
+// build-graph weight; the analyzers are the only consumers.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Directive names (the text after "//horam:").
+const (
+	DirConstantTime = "constant-time"
+	DirSecret       = "secret"
+	DirMask         = "mask"
+	DirCTOK         = "ct-ok"
+	DirErrOK        = "errok"
+)
+
+// Info is the parsed annotation set of one package.
+type Info struct {
+	// CTFuncs are the functions ctflow analyzes, in file order.
+	CTFuncs []*ast.FuncDecl
+
+	// MaskFuncs are the declared objects of //horam:mask functions.
+	MaskFuncs map[types.Object]bool
+
+	// globalSecrets are marked package-level vars and struct fields;
+	// they root taint in every constant-time function of the package.
+	globalSecrets []types.Object
+	// funcSecrets are marked per-function objects.
+	funcSecrets map[*ast.FuncDecl][]types.Object
+
+	ctok  map[string]map[int]bool
+	errok map[string]map[int]bool
+
+	fset *token.FileSet
+}
+
+// FuncSecrets returns the taint roots in force inside fn: the
+// function's own marked objects plus every package-global mark.
+func (in *Info) FuncSecrets(fn *ast.FuncDecl) []types.Object {
+	out := append([]types.Object(nil), in.globalSecrets...)
+	return append(out, in.funcSecrets[fn]...)
+}
+
+// CTOK reports whether a //horam:ct-ok comment covers pos's line.
+func (in *Info) CTOK(pos token.Pos) bool { return in.onLine(in.ctok, pos) }
+
+// ErrOK reports whether a //horam:errok comment covers pos's line.
+func (in *Info) ErrOK(pos token.Pos) bool { return in.onLine(in.errok, pos) }
+
+func (in *Info) onLine(set map[string]map[int]bool, pos token.Pos) bool {
+	p := in.fset.Position(pos)
+	return set[p.Filename][p.Line]
+}
+
+type directive struct {
+	name string
+	args []string
+	pos  token.Pos
+}
+
+// parseDirectives extracts //horam: lines from one comment group.
+func parseDirectives(g *ast.CommentGroup) []directive {
+	var out []directive
+	if g == nil {
+		return nil
+	}
+	for _, c := range g.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue // /* */ comments are not directive carriers
+		}
+		text, ok = strings.CutPrefix(strings.TrimSpace(text), "horam:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, directive{name: fields[0], args: fields[1:], pos: c.Pos()})
+	}
+	return out
+}
+
+// Collect parses every annotation in the pass's files.
+func Collect(pass *analysis.Pass) *Info {
+	in := &Info{
+		MaskFuncs:   map[types.Object]bool{},
+		funcSecrets: map[*ast.FuncDecl][]types.Object{},
+		ctok:        map[string]map[int]bool{},
+		errok:       map[string]map[int]bool{},
+		fset:        pass.Fset,
+	}
+	for _, file := range pass.Files {
+		in.collectFile(pass, file)
+	}
+	return in
+}
+
+func (in *Info) collectFile(pass *analysis.Pass, file *ast.File) {
+	fset := pass.Fset
+
+	// Declarations by line, for the bare //horam:secret form.
+	declLines := map[int][]types.Object{}
+	for ident, obj := range pass.TypesInfo.Defs {
+		if obj == nil {
+			continue
+		}
+		p := fset.Position(ident.Pos())
+		if p.Filename == fset.Position(file.Pos()).Filename {
+			declLines[p.Line] = append(declLines[p.Line], obj)
+		}
+	}
+
+	funcs := make([]*ast.FuncDecl, 0, len(file.Decls))
+	docOf := map[*ast.CommentGroup]*ast.FuncDecl{}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			funcs = append(funcs, fn)
+			if fn.Doc != nil {
+				docOf[fn.Doc] = fn
+			}
+		}
+	}
+	enclosing := func(pos token.Pos) *ast.FuncDecl {
+		for _, fn := range funcs {
+			if fn.Pos() <= pos && pos <= fn.End() {
+				return fn
+			}
+		}
+		return nil
+	}
+
+	fileCT := false
+	ctMarked := map[*ast.FuncDecl]bool{}
+
+	for _, g := range file.Comments {
+		docFn := docOf[g]
+		bodyFn := enclosing(g.Pos())
+		for _, d := range parseDirectives(g) {
+			pos := fset.Position(d.pos)
+			switch d.name {
+			case DirConstantTime:
+				switch {
+				case docFn != nil:
+					ctMarked[docFn] = true
+				case bodyFn == nil:
+					fileCT = true
+				default:
+					// Inside a body the function-level marker governs;
+					// treat it as marking the enclosing function.
+					ctMarked[bodyFn] = true
+				}
+			case DirMask:
+				fn := docFn
+				if fn == nil {
+					fn = bodyFn
+				}
+				if fn != nil {
+					if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+						in.MaskFuncs[obj] = true
+					}
+				}
+			case DirSecret:
+				owner := docFn
+				if owner == nil {
+					owner = bodyFn
+				}
+				if len(d.args) > 0 {
+					in.markNamed(pass, owner, d.args)
+					continue
+				}
+				objs := declLines[pos.Line]
+				if len(objs) == 0 {
+					// Doc-position form: the marker sits on its own
+					// line directly above the declaration it covers.
+					objs = declLines[pos.Line+1]
+				}
+				in.markObjects(owner, objs)
+			case DirCTOK:
+				mark(in.ctok, pos)
+			case DirErrOK:
+				mark(in.errok, pos)
+			}
+		}
+	}
+
+	for _, fn := range funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if fileCT || ctMarked[fn] {
+			in.CTFuncs = append(in.CTFuncs, fn)
+		}
+	}
+}
+
+// markNamed marks the objects named in a //horam:secret list within
+// owner (or, with no owner, at file scope — package vars and fields).
+func (in *Info) markNamed(pass *analysis.Pass, owner *ast.FuncDecl, names []string) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var objs []types.Object
+	for ident, obj := range pass.TypesInfo.Defs {
+		if obj == nil || !want[ident.Name] {
+			continue
+		}
+		if owner != nil {
+			if ident.Pos() < owner.Pos() || ident.Pos() > owner.End() {
+				continue
+			}
+		}
+		objs = append(objs, obj)
+	}
+	in.markObjects(owner, objs)
+}
+
+func (in *Info) markObjects(owner *ast.FuncDecl, objs []types.Object) {
+	for _, obj := range objs {
+		if owner == nil || isGlobal(obj) {
+			in.globalSecrets = append(in.globalSecrets, obj)
+		} else {
+			in.funcSecrets[owner] = append(in.funcSecrets[owner], obj)
+		}
+	}
+}
+
+// isGlobal reports whether obj outlives any single function: a
+// package-level var or a struct field.
+func isGlobal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.IsField() || (v.Parent() != nil && v.Parent().Parent() == types.Universe)
+}
+
+func mark(set map[string]map[int]bool, pos token.Position) {
+	lines := set[pos.Filename]
+	if lines == nil {
+		lines = map[int]bool{}
+		set[pos.Filename] = lines
+	}
+	lines[pos.Line] = true
+}

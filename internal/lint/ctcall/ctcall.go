@@ -1,0 +1,106 @@
+// Package ctcall classifies calls into the constant-time primitive
+// packages (repro/internal/ctops and crypto/subtle) for the ctflow and
+// ctmask analyzers: which calls are comparisons (secret in, 0-or-1
+// mask out), which are selects (mask + data in, data out), and which
+// calls take a mask operand whose provenance ctmask must verify.
+package ctcall
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method object a call invokes, or nil
+// for conversions, builtins and indirect calls through values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ctPkg reports whether obj lives in ctops or crypto/subtle.
+func ctPkg(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "crypto/subtle" || p == "internal/ctops" || strings.HasSuffix(p, "/internal/ctops")
+}
+
+// subtleComparisons are the crypto/subtle functions that return 0-or-1
+// masks from data operands.
+var subtleComparisons = map[string]bool{
+	"ConstantTimeCompare":  true,
+	"ConstantTimeByteEq":   true,
+	"ConstantTimeEq":       true,
+	"ConstantTimeLessOrEq": true,
+}
+
+// IsComparison reports whether the call is a constant-time comparison:
+// its result is an established 0-or-1 mask and its data operands are
+// consumed obliviously (ctops Eq*/Lt*/Ge*/Le*/Gt*, or the subtle
+// comparison family).
+func IsComparison(fn *types.Func) bool {
+	if fn == nil || !ctPkg(fn) {
+		return false
+	}
+	if fn.Pkg().Path() == "crypto/subtle" {
+		return subtleComparisons[fn.Name()]
+	}
+	for _, prefix := range []string{"Eq", "Lt", "Ge", "Le", "Gt", "Ne"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSelect reports whether the call is a two-way masked select
+// (ctops.Select64/SelectInt, subtle.ConstantTimeSelect): argument 0 is
+// the mask, arguments 1 and 2 are the data operands the result is
+// drawn from.
+func IsSelect(fn *types.Func) bool {
+	if fn == nil || !ctPkg(fn) {
+		return false
+	}
+	if fn.Pkg().Path() == "crypto/subtle" {
+		return fn.Name() == "ConstantTimeSelect"
+	}
+	return strings.HasPrefix(fn.Name(), "Select")
+}
+
+// IsCTPrimitive reports whether the call targets ctops or
+// crypto/subtle at all.
+func IsCTPrimitive(fn *types.Func) bool { return fn != nil && ctPkg(fn) }
+
+// MaskArg returns the index of the mask operand ctmask must verify,
+// or -1 when the call carries no checked mask. The checked set is the
+// contract surface from the issue: ctops.Select*, ctops.CopyBytes,
+// subtle.ConstantTimeCopy and subtle.ConstantTimeSelect all take the
+// mask first.
+func MaskArg(fn *types.Func) int {
+	if fn == nil || !ctPkg(fn) {
+		return -1
+	}
+	name := fn.Name()
+	if fn.Pkg().Path() == "crypto/subtle" {
+		if name == "ConstantTimeCopy" || name == "ConstantTimeSelect" {
+			return 0
+		}
+		return -1
+	}
+	if strings.HasPrefix(name, "Select") || name == "CopyBytes" {
+		return 0
+	}
+	return -1
+}

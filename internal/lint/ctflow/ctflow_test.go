@@ -1,0 +1,16 @@
+package ctflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctflow"
+)
+
+// TestCTFlow runs the analyzer over the fixture package: the broken
+// twin of the constant-time stash (a secret-dependent early exit
+// inserted into a PutMasked-shaped scan) must fire, and the laundered
+// mask flows, suppressed lines and unannotated functions must not.
+func TestCTFlow(t *testing.T) {
+	analysistest.Run(t, ctflow.Analyzer, "testdata/ctflow")
+}

@@ -1,0 +1,94 @@
+// Package fixture exercises the ctflow analyzer. Every `want` comment
+// is a diagnostic the analyzer must report; every line without one is
+// a false-positive regression case.
+package fixture
+
+import "repro/internal/ctops"
+
+// table mimics the constant-time stash's layout: the stored addresses
+// are the secret, the lengths are public occupancy data.
+type table struct {
+	//horam:secret
+	addrs []int64
+	lens  []int
+}
+
+//horam:constant-time
+func branchOnSecret(secret int64) int64 { //horam:secret secret
+	if secret == 0 { // want `if condition depends on secret "secret"`
+		return 1
+	}
+	derived := secret * 3
+	if derived > 10 { // want `if condition depends on secret "secret"`
+		return 2
+	}
+	for i := int64(0); i < secret; i++ { // want `for condition depends on secret "secret"`
+		derived++
+	}
+	switch secret { // want `switch tag depends on secret "secret"`
+	case 0:
+	}
+	switch {
+	case secret > 4: // want `switch case depends on secret "secret"`
+	}
+	return derived
+}
+
+//horam:constant-time
+func memoryOps(secret int64, buf []byte, m map[int64]int) int { //horam:secret secret
+	x := buf[secret]                // want `memory index depends on secret "secret"`
+	_ = buf[:secret]                // want `slice bounds depend on secret "secret"`
+	_ = m[secret]                   // want `map index depends on secret "secret"`
+	scratch := make([]byte, secret) // want `make size depends on secret "secret"`
+	return int(x) + len(scratch)
+}
+
+//horam:constant-time
+func mapIteration(secret int64) int { //horam:secret secret
+	held := map[int64]bool{}
+	held[0] = secret != 0 // the map now holds secret-derived data
+	n := 0
+	for range held { // want `range over map holding secret "secret"`
+		n++
+	}
+	return n
+}
+
+//horam:constant-time
+func laundered(s *table, secret int64) int { //horam:secret secret
+	found := 0
+	for i := range s.addrs {
+		found |= ctops.Eq64(s.addrs[i], secret) // comparisons launder: public mask
+	}
+	if found == 1 { // public hit/miss outcome, no diagnostic
+		return 1
+	}
+	sel := ctops.Select64(found, secret, 0)
+	if sel == 0 { // want `if condition depends on secret "secret"`
+		return 2
+	}
+	return 0
+}
+
+//horam:constant-time
+func suppressed(secret int64) error { //horam:secret secret
+	if secret < 0 { //horam:ct-ok documented failure-path deviation
+		return errFixture
+	}
+	return nil
+}
+
+// unannotated is ordinary code: the same branch raises nothing because
+// no constant-time contract is claimed here.
+func unannotated(secret int64) int { //horam:secret secret
+	if secret == 0 {
+		return 1
+	}
+	return 0
+}
+
+var errFixture = errorString("fixture")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

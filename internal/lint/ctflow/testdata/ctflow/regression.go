@@ -1,0 +1,47 @@
+//horam:constant-time
+// This file carries the file-level marker: every function below is
+// constant-time code without a per-function annotation. The fixture is
+// the acceptance scenario for the lint gate — a PutMasked-shaped scan
+// with a careless secret-dependent early exit slipped in, which is
+// exactly the one-line regression the analyzer must turn into a build
+// failure (the real internal/stash/ct.go stays clean; this file is the
+// deliberately broken twin).
+
+package fixture
+
+import "repro/internal/ctops"
+
+// putShaped mirrors the shape of stash.(*CT).PutMasked with an
+// inserted secret-dependent fast path.
+func putShaped(s *table, v int, addr int64, data []byte) error { //horam:secret addr
+	if addr == 0 { // want `if condition depends on secret "addr"`
+		return nil // the careless early exit: a hit/miss-shaped timing leak
+	}
+	a := ctops.Select64(v, addr, 0)
+	present := 0
+	for i := range s.addrs {
+		present |= ctops.Eq64(s.addrs[i], a)
+	}
+	present &= v
+	pos := 0
+	for i := range s.addrs {
+		pos += ctops.Lt64(s.addrs[i], a)
+	}
+	for i := range s.addrs {
+		w := present & ctops.Eq64(s.addrs[i], a) & ctops.EqInt(i, pos)
+		s.addrs[i] = ctops.Select64(w, a, s.addrs[i])
+		s.lens[i] = ctops.SelectInt(w, len(data), s.lens[i])
+	}
+	return nil
+}
+
+// scanShaped is the clean twin: the same lookup with no data-dependent
+// exit, proving the fixed-order discipline itself raises nothing.
+func scanShaped(s *table, addr int64) (found, pos int) { //horam:secret addr
+	for i := range s.addrs {
+		m := ctops.Eq64(s.addrs[i], addr)
+		found |= m
+		pos = ctops.SelectInt(m, i, pos)
+	}
+	return found, pos
+}

@@ -1,0 +1,323 @@
+// Package ctmask enforces the ctops mask contract: the mask operand
+// of ctops.Select*/CopyBytes (and subtle.ConstantTimeCopy/
+// ConstantTimeSelect) must be exactly 0 or 1, and must originate from
+// a constant-time comparison — not from a Go comparison operator,
+// a branch-free-looking arithmetic trick, or an unvetted function.
+//
+// A mask expression is, inductively:
+//
+//   - a constant 0 or 1;
+//   - a call to a ctops/subtle comparison, or to a function annotated
+//     //horam:mask;
+//   - a ctops select whose two data operands are masks;
+//   - a conversion of a mask to an integer type;
+//   - &, |, ^ or &^ of two masks (so m^1 is the branchless NOT);
+//   - an integer parameter of the enclosing function (the contract is
+//     checked per call site; a mask received across a function
+//     boundary is trusted at that boundary);
+//   - a local integer variable every assignment of which is a mask
+//     expression (named results start at zero, which is in domain);
+//   - an element of an integer-slice parameter, or of a slice whose
+//     every element write in the function is a mask expression.
+//
+// The analysis is value-domain only: it proves the 0-or-1 domain and
+// comparison provenance, not freedom from secret-dependent branching —
+// `m := 0; if secret == x { m = 1 }` is in domain here and is ctflow's
+// diagnostic to raise. Aliased slices (a container assigned wholesale
+// from another slice) are trusted if their element writes are masks;
+// the repository's scratch-slab idiom zero-fills before use.
+package ctmask
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+	"repro/internal/lint/ctcall"
+)
+
+// Analyzer is the ctmask analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctmask",
+	Doc:  "verify that ctops/subtle mask operands originate from constant-time comparisons",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	in := annot.Collect(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, in, fn)
+		}
+	}
+	return nil
+}
+
+type funcCheck struct {
+	pass *analysis.Pass
+	in   *annot.Info
+	fn   *ast.FuncDecl
+
+	params map[types.Object]bool // int/[]int parameters: trusted boundary
+	vars   map[types.Object]bool // locals currently believed mask-valued
+	elems  map[types.Object]bool // containers whose elements are masks
+
+	sites []*ast.CallExpr // calls with a checked mask operand
+}
+
+func checkFunc(pass *analysis.Pass, in *annot.Info, fn *ast.FuncDecl) {
+	c := &funcCheck{
+		pass:   pass,
+		in:     in,
+		fn:     fn,
+		params: map[types.Object]bool{},
+		vars:   map[types.Object]bool{},
+		elems:  map[types.Object]bool{},
+	}
+	c.collectSites()
+	if len(c.sites) == 0 {
+		return
+	}
+	c.seed()
+	// Greatest fixpoint: start optimistic, strike objects whose
+	// assignments disprove mask-ness, repeat until stable (mask-ness of
+	// one variable feeds another's).
+	for c.strike() {
+	}
+	for _, call := range c.sites {
+		idx := ctcall.MaskArg(ctcall.Callee(pass.TypesInfo, call))
+		mask := call.Args[idx]
+		if !c.isMask(mask) {
+			pass.Reportf(mask.Pos(), "mask operand of %s is not derived from a constant-time comparison (ctops/subtle); the 0-or-1 contract is unproven", ctcall.Callee(pass.TypesInfo, call).FullName())
+		}
+	}
+}
+
+func (c *funcCheck) collectSites() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := ctcall.Callee(c.pass.TypesInfo, call); ctcall.MaskArg(fn) >= 0 {
+				c.sites = append(c.sites, call)
+			}
+		}
+		return true
+	})
+}
+
+// intKind reports whether t is a plain integer type.
+func intKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// intSlice reports whether t is a slice of integers.
+func intSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && intKind(s.Elem())
+}
+
+// seed builds the optimistic initial sets.
+func (c *funcCheck) seed() {
+	sig, _ := c.pass.TypesInfo.Defs[c.fn.Name].(*types.Func)
+	if sig != nil {
+		tuple := sig.Type().(*types.Signature).Params()
+		for i := 0; i < tuple.Len(); i++ {
+			p := tuple.At(i)
+			if intKind(p.Type()) || intSlice(p.Type()) {
+				c.params[p] = true
+			}
+		}
+	}
+	// Locals (including named results): optimistic if integer-typed.
+	for id, obj := range c.pass.TypesInfo.Defs {
+		if obj == nil || id.Pos() < c.fn.Pos() || id.Pos() > c.fn.End() {
+			continue
+		}
+		if v, ok := obj.(*types.Var); ok && !c.params[obj] && intKind(v.Type()) {
+			c.vars[obj] = true
+		}
+	}
+	// Containers: anything (local or field) with at least one indexed
+	// element write inside the function.
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if obj := c.rootObj(ix.X); obj != nil && intSlice(obj.Type()) {
+					c.elems[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootObj resolves the variable or field a container expression names.
+func (c *funcCheck) rootObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := c.pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return c.pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return c.pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// strike removes objects whose definitions violate mask-ness; it
+// reports whether anything changed.
+func (c *funcCheck) strike() bool {
+	changed := false
+	drop := func(obj types.Object) {
+		if obj == nil {
+			return
+		}
+		if c.vars[obj] {
+			delete(c.vars, obj)
+			changed = true
+		}
+		if c.params[obj] {
+			delete(c.params, obj)
+			changed = true
+		}
+	}
+	dropElems := func(obj types.Object) {
+		if obj != nil && c.elems[obj] {
+			delete(c.elems, obj)
+			changed = true
+		}
+	}
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.strikeAssign(n, drop, dropElems)
+		case *ast.IncDecStmt:
+			drop(c.rootObj(n.X))
+		case *ast.UnaryExpr:
+			// Address-taken variables can change behind our back.
+			if n.Op.String() == "&" {
+				drop(c.rootObj(n.X))
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				drop(c.rootObj(n.Key))
+			}
+			if n.Value != nil {
+				drop(c.rootObj(n.Value))
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+func (c *funcCheck) strikeAssign(n *ast.AssignStmt, drop, dropElems func(types.Object)) {
+	bitOp := func(op string) bool {
+		return op == "&=" || op == "|=" || op == "^=" || op == "&^="
+	}
+	// Multi-value: x, y := f() — mask only when f is //horam:mask.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		ok := false
+		if call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); isCall {
+			if fn := ctcall.Callee(c.pass.TypesInfo, call); fn != nil && c.in.MaskFuncs[fn] {
+				ok = true
+			}
+		}
+		if !ok {
+			for _, lhs := range n.Lhs {
+				c.strikeTarget(lhs, drop, dropElems)
+			}
+		}
+		return
+	}
+	for i, rhs := range n.Rhs {
+		lhs := n.Lhs[i]
+		rhsMask := c.isMask(rhs)
+		if op := n.Tok.String(); op != "=" && op != ":=" {
+			// Compound: only the bitwise family preserves the domain,
+			// and only when the operand is a mask.
+			rhsMask = rhsMask && bitOp(op)
+		}
+		if !rhsMask {
+			c.strikeTarget(lhs, drop, dropElems)
+		}
+	}
+}
+
+func (c *funcCheck) strikeTarget(lhs ast.Expr, drop, dropElems func(types.Object)) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name != "_" {
+			drop(c.rootObj(lhs))
+		}
+	case *ast.IndexExpr:
+		// A non-mask element write disqualifies the container — for a
+		// parameter slice it also revokes the boundary trust.
+		obj := c.rootObj(lhs.X)
+		dropElems(obj)
+		drop(obj)
+	case *ast.SelectorExpr:
+		drop(c.rootObj(lhs))
+	case *ast.StarExpr:
+		drop(c.rootObj(lhs.X))
+	}
+}
+
+// isMask reports whether e is a mask expression under the current
+// optimistic sets.
+func (c *funcCheck) isMask(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.isMask(e.X)
+	case *ast.Ident:
+		obj := c.rootObj(e)
+		return obj != nil && (c.params[obj] || c.vars[obj])
+	case *ast.IndexExpr:
+		obj := c.rootObj(e.X)
+		return obj != nil && (c.params[obj] || c.elems[obj])
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&", "|", "^", "&^":
+			return c.isMask(e.X) && c.isMask(e.Y)
+		}
+	case *ast.CallExpr:
+		return c.isMaskCall(e)
+	}
+	// Constants 0 and 1 are in domain wherever they appear.
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && (v == 0 || v == 1) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *funcCheck) isMaskCall(call *ast.CallExpr) bool {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Integer conversion of a mask stays a mask.
+		return len(call.Args) == 1 && intKind(tv.Type) && c.isMask(call.Args[0])
+	}
+	fn := ctcall.Callee(info, call)
+	if fn == nil {
+		return false
+	}
+	if ctcall.IsComparison(fn) || c.in.MaskFuncs[fn] {
+		return true
+	}
+	if ctcall.IsSelect(fn) {
+		return c.isMask(call.Args[1]) && c.isMask(call.Args[2])
+	}
+	return false
+}

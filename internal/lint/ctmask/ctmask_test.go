@@ -1,0 +1,16 @@
+package ctmask_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctmask"
+)
+
+// TestCTMask runs the analyzer over the fixture package: branchy
+// boolean-to-int laundering, arithmetic masks and out-of-domain
+// constants must fire; comparison algebra, parameter boundaries,
+// //horam:mask functions and mask-filled scratch slices must not.
+func TestCTMask(t *testing.T) {
+	analysistest.Run(t, ctmask.Analyzer, "testdata/ctmask")
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the ctmask analyzer: mask operands of
+// ctops selects/copies must provably originate from constant-time
+// comparisons. `want` lines are violations; the rest are legal mask
+// compositions that must stay clean.
+package fixture
+
+import (
+	"crypto/subtle"
+
+	"repro/internal/ctops"
+)
+
+// b2i is the classic branchy mask launderer the contract bans.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func badMasks(a, b int, x, y int64, dst, src []byte) int64 {
+	m := b2i(a == b)                     // a Go comparison, not a ct comparison
+	r := ctops.Select64(m, x, y)         // want `mask operand .* not derived from a constant-time comparison`
+	ctops.CopyBytes(a-b, dst, src)       // want `mask operand .* not derived from a constant-time comparison`
+	v := 2                               // out of the 0-or-1 domain
+	subtle.ConstantTimeCopy(v, dst, src) // want `mask operand .* not derived from a constant-time comparison`
+	w := a * 3
+	return r + int64(ctops.SelectInt(w, 0, 1)) // want `mask operand .* not derived from a constant-time comparison`
+}
+
+//horam:mask
+func hitScan(addrs []int64, addr int64) (found int) {
+	for i := range addrs {
+		found |= ctops.Eq64(addrs[i], addr)
+	}
+	return found
+}
+
+func goodMasks(v int, a, b int64, dst, src []byte, maskIn []int) int64 {
+	// Direct comparison results and their bitwise algebra.
+	m := ctops.Eq64(a, b)
+	n := ctops.Lt64(a, b) ^ 1
+	combined := (m | n) & ctops.GeInt(int(a), int(b))
+	ctops.CopyBytes(combined, dst, src)
+
+	// Parameters are the trusted boundary; masks compose across calls.
+	out := ctops.Select64(v, a, b)
+
+	// Constants are in domain, selects of masks are masks.
+	always := ctops.SelectInt(m, 1, 0)
+	ctops.CopyBytes(always, dst, src)
+
+	// Conversions keep mask-ness; //horam:mask results are trusted.
+	f := int(int64(hitScan(maskIn64(), a)))
+	ctops.CopyBytes(f, dst, src)
+
+	// Accumulated masks through compound bitwise assignment.
+	acc := 0
+	acc |= m
+	acc &= n
+	ctops.CopyBytes(acc, dst, src)
+
+	// Elements of a parameter slice, and of a locally mask-filled one.
+	local := make([]int, 4)
+	for i := range local {
+		local[i] = ctops.EqInt(i, int(a))
+	}
+	ctops.CopyBytes(local[0]&maskIn[0], dst, src)
+	return out
+}
+
+func maskIn64() []int64 { return []int64{1, 2, 3} }

@@ -1,0 +1,162 @@
+// Package errdrop is the repo-tuned unchecked-error analyzer: it
+// flags dropped errors exactly on the paths where a silent swallow
+// corrupts state invisibly — snapshot container writes, device.Backend
+// I/O, and Close/Sync anywhere in non-test code (a dropped Close on a
+// durable file can lose acknowledged writes; a dropped Sync voids the
+// fsync policy the options promised).
+//
+// A drop is an expression or defer statement whose call returns an
+// error that nobody receives, or an assignment of the error result to
+// the blank identifier. //horam:errok on the statement's line
+// suppresses the diagnostic, making every drop a visible, auditable
+// decision rather than an accident.
+package errdrop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annot"
+)
+
+// Analyzer is the errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag dropped errors from snapshot writes, device I/O and Close/Sync in non-test code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	in := annot.Collect(pass)
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checkFile(pass, in, file)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, in *annot.Info, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDrop(pass, in, n.Pos(), call)
+			}
+		case *ast.DeferStmt:
+			checkDrop(pass, in, n.Pos(), n.Call)
+		case *ast.GoStmt:
+			checkDrop(pass, in, n.Pos(), n.Call)
+		case *ast.AssignStmt:
+			checkBlank(pass, in, n)
+		}
+		return true
+	})
+}
+
+// errIndices returns the positions of error-typed results of a call.
+func errIndices(info *types.Info, call *ast.CallExpr) []int {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErr(t) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErr(t types.Type) bool { return types.Identical(t, errType) }
+
+// guarded reports whether the call targets the watched surface, and
+// names it for the diagnostic.
+func guarded(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if strings.HasSuffix(pkg.Path(), "internal/snapshot") {
+			return fn.FullName(), true
+		}
+		if strings.HasSuffix(pkg.Path(), "internal/device") {
+			return fn.FullName(), true
+		}
+	}
+	if fn.Type().(*types.Signature).Recv() != nil && (fn.Name() == "Close" || fn.Name() == "Sync") {
+		return fn.FullName(), true
+	}
+	return "", false
+}
+
+func checkDrop(pass *analysis.Pass, in *annot.Info, pos token.Pos, call *ast.CallExpr) {
+	if len(errIndices(pass.TypesInfo, call)) == 0 {
+		return
+	}
+	name, ok := guarded(pass.TypesInfo, call)
+	if !ok || in.ErrOK(pos) {
+		return
+	}
+	pass.Reportf(pos, "error from %s is dropped; handle it or mark the line //horam:errok", name)
+}
+
+// checkBlank flags `_ = call()` / `x, _ := call()` where the blank
+// swallows a guarded error.
+func checkBlank(pass *analysis.Pass, in *annot.Info, n *ast.AssignStmt) {
+	pair := func(lhs []ast.Expr, call *ast.CallExpr) {
+		idxs := errIndices(pass.TypesInfo, call)
+		if len(idxs) == 0 {
+			return
+		}
+		dropped := false
+		for _, i := range idxs {
+			if i < len(lhs) {
+				if id, ok := ast.Unparen(lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					dropped = true
+				}
+			}
+		}
+		if !dropped {
+			return
+		}
+		name, ok := guarded(pass.TypesInfo, call)
+		if !ok || in.ErrOK(n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), "error from %s is assigned to _; handle it or mark the line //horam:errok", name)
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			pair(n.Lhs, call)
+		}
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			pair(n.Lhs[i:i+1], call)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errdrop"
+)
+
+// TestErrDrop runs the analyzer over the fixture package: dropped and
+// blank-assigned errors on the snapshot/device/Close/Sync surface must
+// fire; handled errors, //horam:errok lines and unguarded calls must
+// not.
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "testdata/errdrop")
+}

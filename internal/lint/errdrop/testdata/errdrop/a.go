@@ -1,0 +1,47 @@
+// Package fixture exercises the errdrop analyzer: dropped errors on
+// the snapshot/device/Close/Sync surface are `want` diagnostics;
+// handled errors, suppressed drops and unguarded calls must be clean.
+package fixture
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/snapshot"
+)
+
+func drops(f *os.File, b device.Backend, s device.Syncer) error {
+	f.Close()                    // want `error from .*Close.* is dropped`
+	defer f.Close()              // want `error from .*Close.* is dropped`
+	_ = f.Close()                // want `error from .*Close.* is assigned to _`
+	s.Sync()                     // want `error from .*Sync.* is dropped`
+	b.Write(0, nil)              // want `error from .*Write.* is dropped`
+	snapshot.WriteFile("x", nil) // want `error from .*WriteFile.* is dropped`
+	if _, err := snapshot.ReadFile("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func suppressed(f *os.File) {
+	f.Close()     //horam:errok best-effort cleanup on an already-failed path
+	_ = f.Close() //horam:errok double-close probe in teardown
+}
+
+func handled(f *os.File, s device.Syncer) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unguarded calls also return errors, but are outside the watched
+// surface: a swallowed Println hurts nobody's durability.
+func unguarded(m map[string]int) {
+	fmt.Println("hello")
+	delete(m, "x")
+}

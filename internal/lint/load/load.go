@@ -1,0 +1,202 @@
+// Package load type-checks packages for the lint analyzers without
+// golang.org/x/tools: targets are enumerated with `go list`, their
+// sources parsed with go/parser, and their imports satisfied from the
+// build cache's export data (`go list -export`), so the whole pipeline
+// works offline with nothing but the toolchain.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// exporter satisfies imports from compiled export data. It is shared
+// across every target of one load so each dependency is read once.
+type exporter struct {
+	root    string // module root, where `go list` runs
+	exports map[string]string
+}
+
+func (e *exporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := e.exports[path]
+	if !ok {
+		out, err := goList(e.root, "-export", "-f", "{{.Export}}", "--", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		e.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// Packages loads every non-test Go package matching the patterns,
+// resolved relative to dir (which must sit inside the module).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	// One -deps -export pass prefills the export map AND compiles
+	// everything, so per-import lookups never shell out again.
+	depOut, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exp := &exporter{root: dir, exports: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(depOut))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exp.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	tgtOut, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.lookup)
+	var pkgs []*Package
+	dec = json.NewDecoder(bytes.NewReader(tgtOut))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := check(fset, imp, p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Dir loads the single package in dir as the import path `as`. It is
+// the fixture entry point: testdata directories are invisible to the
+// go tool, so the files are globbed directly and imports resolve
+// through moduleRoot's build cache.
+func Dir(moduleRoot, dir, as string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, n := range names {
+		if !strings.HasSuffix(n, "_test.go") {
+			files = append(files, n)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", (&exporter{root: moduleRoot, exports: map[string]string{}}).lookup)
+	return check(fset, imp, as, files)
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func check(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

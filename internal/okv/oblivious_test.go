@@ -198,7 +198,7 @@ func TestKVFullTraceWorkloadIndependent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(e.Close)
+		t.Cleanup(func() { e.Close() })
 		recs := make([]*trace.Recorder, shards)
 		for i := 0; i < shards; i++ {
 			rec := trace.NewRecorder()

@@ -781,6 +781,9 @@ func (s *Store) access(kind opKind, key, value []byte) (val []byte, found bool, 
 // everything derived from slot contents flows through 0/1 masks.
 // Returned found/full are 0/1 masks (they become caller-visible
 // outputs only after the pipeline completes).
+//
+//horam:constant-time
+//horam:secret key raw
 func (s *Store) selectTargetCT(sc *opScratch, kind opKind, key []byte) (tIdx int64, fnd, full, valLen int) {
 	S := s.lay.slots
 	// Probe key, zero-padded to the fixed compare window. Slot blocks
@@ -856,6 +859,9 @@ func (s *Store) selectTargetCT(sc *opScratch, kind opKind, key []byte) (tIdx int
 // in every case — only the composition is branchless. For GET it also
 // produces the caller's value; trimming it to the hit/miss outcome is
 // a branch on the op's own return value, not on hidden state.
+//
+//horam:constant-time
+//horam:secret key value
 func (s *Store) composeWritesCT(sc *opScratch, kind opKind, key, value []byte, fnd, full, valLen int, val *[]byte) []byte {
 	copy(sc.writeSlot, sc.slotRead)
 	for j := range sc.extWrite {

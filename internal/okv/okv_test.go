@@ -52,7 +52,7 @@ func testEngine(t *testing.T, shards int, seed string) *engine.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

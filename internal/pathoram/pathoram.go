@@ -489,6 +489,9 @@ func (o *ORAM) writePath(leaf int64) error {
 // a count-leading-zeros instruction, and Len64(0) == 0 already yields
 // the full-depth answer, so no equality branch is needed. Callers mask
 // the result when a or b is not a valid leaf.
+//
+//horam:constant-time
+//horam:secret a b
 func ctCommonLevel(levels int, a, b int64) int {
 	return levels - bits.Len64(uint64(a^b))
 }
@@ -505,6 +508,12 @@ func ctCommonLevel(levels int, a, b int64) int {
 // serve the whole path, mirroring the default path's single sorted
 // snapshot; consumed slots are marked in a mask and removed from the
 // stash in a fixed number of masked passes at the end.
+//
+// The stash-address snapshot and the joined leaf assignments are the
+// secrets here; the written path (leaf) is public device traffic.
+//
+//horam:constant-time
+//horam:secret addrs leaves
 func (o *ORAM) ctWritePath(leaf int64) error {
 	capn := o.ct.Capacity()
 	addrs := o.ct.SnapshotAddrs(o.ctAddrs[:0])

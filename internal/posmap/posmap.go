@@ -19,6 +19,10 @@ const NoLeaf = int64(-1)
 
 // PositionMap maps logical block addresses to Path ORAM leaves.
 type PositionMap struct {
+	// The leaf assignments are secret: leaking which leaf an address
+	// maps to is leaking the very path identity ORAM randomizes.
+	//
+	//horam:secret
 	leaves []int64
 	nLeaf  int64
 	rng    *blockcipher.RNG
@@ -70,6 +74,9 @@ func (m *PositionMap) SetConstantTime(on bool) { m.ct = on }
 func (m *PositionMap) ConstantTime() bool { return m.ct }
 
 // ctGet scans the whole leaf array for addr's entry.
+//
+//horam:constant-time
+//horam:secret addr
 func (m *PositionMap) ctGet(addr int64) int64 {
 	leaf := NoLeaf
 	for j := range m.leaves {
@@ -80,6 +87,9 @@ func (m *PositionMap) ctGet(addr int64) int64 {
 }
 
 // ctSet writes leaf into addr's entry via a masked full-length pass.
+//
+//horam:constant-time
+//horam:secret addr leaf
 func (m *PositionMap) ctSet(addr, leaf int64) {
 	for j := range m.leaves {
 		mm := ctops.Eq64(int64(j), addr)
@@ -137,6 +147,9 @@ func (m *PositionMap) Remap(addr int64) (int64, error) {
 // addresses are asked for. pathoram's constant-time eviction uses it
 // to join a fixed-length stash snapshot against the map without
 // per-candidate indexed loads. dst must be as long as addrs.
+//
+//horam:constant-time
+//horam:secret addrs
 func (m *PositionMap) GetBatch(addrs, dst []int64) {
 	for i := range dst {
 		dst[i] = NoLeaf

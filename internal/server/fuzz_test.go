@@ -40,7 +40,7 @@ func fuzzServer(f *testing.F, kv bool) string {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Cleanup(e.Close)
+	f.Cleanup(func() { e.Close() })
 	cfg := Config{Engine: e, BatchWindow: time.Millisecond}
 	if kv {
 		store, err := okv.New(okv.Options{

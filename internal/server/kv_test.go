@@ -61,7 +61,7 @@ func startKVServer(t *testing.T) (string, *Server, *okv.Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	store, err := okv.New(okv.Options{
 		Backend:        e,
 		SlotsPerBucket: 2,

@@ -195,7 +195,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		ln.Close() //horam:errok refusing a listener handed to a closed server; ErrClosed is the answer
 		return ErrClosed
 	}
 	s.ln = ln
@@ -234,7 +234,7 @@ func (s *Server) admit(conn net.Conn) bool {
 		s.st.Rejected++
 		s.mu.Unlock()
 		fmt.Fprintln(conn, "ERR server busy")
-		conn.Close()
+		conn.Close() //horam:errok best-effort refusal of a connection over the cap
 		return false
 	}
 	s.conns[conn] = struct{}{}
@@ -268,8 +268,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	close(s.quit)
+	var lnErr error
 	if ln != nil {
-		ln.Close()
+		lnErr = ln.Close()
 	}
 	// Unblock connection readers while keeping the write side open so
 	// in-flight responses still reach the client.
@@ -283,7 +284,7 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	close(s.submit)
 	<-s.batcherDone
-	return nil
+	return lnErr
 }
 
 // dispatch hands one connection's requests to the batcher and waits
@@ -383,7 +384,7 @@ func (s *Server) batcher() {
 // connections happens behind the submit channel.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer conn.Close() //horam:errok per-connection teardown; the protocol has already answered or failed
 	defer s.forget(conn)
 
 	sc := bufio.NewScanner(conn)

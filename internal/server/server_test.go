@@ -32,7 +32,7 @@ func startServer(t *testing.T, cfg Config) (string, *Server) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(e.Close)
+		t.Cleanup(func() { e.Close() })
 		cfg.Engine = e
 	}
 	srv, err := New(cfg)
@@ -480,7 +480,7 @@ func TestPerShardStatsAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	addr, srv := startServer(t, Config{Engine: e})
 
 	c, err := client.Dial(addr)

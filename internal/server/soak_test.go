@@ -39,7 +39,7 @@ func TestShardedSoakOverSockets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	addr, srv := startServer(t, Config{Engine: e, BatchWindow: time.Millisecond})
 
 	var wg sync.WaitGroup

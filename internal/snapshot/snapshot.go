@@ -86,11 +86,11 @@ func WriteFile(path string, payload []byte) error {
 	tmpPath := tmp.Name()
 	defer os.Remove(tmpPath) // no-op after a successful rename
 	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
+		tmp.Close() //horam:errok the write error is the one to surface; the temp file is discarded
 		return fmt.Errorf("snapshot: write %s: %w", tmpPath, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //horam:errok the fsync error is the one to surface; the temp file is discarded
 		return fmt.Errorf("snapshot: fsync %s: %w", tmpPath, err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -100,8 +100,8 @@ func WriteFile(path string, payload []byte) error {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	if d, err := os.Open(dir); err == nil {
-		d.Sync() // best effort: some filesystems reject directory fsync
-		d.Close()
+		d.Sync()  //horam:errok best effort: some filesystems reject directory fsync
+		d.Close() //horam:errok read-only directory handle; nothing to flush
 	}
 	return nil
 }

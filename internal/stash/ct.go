@@ -25,6 +25,13 @@ import (
 	"repro/internal/ctops"
 )
 
+// Every function in this file runs under the constant-time contract:
+// the ctflow analyzer flags any secret-dependent branch, index or
+// variable-length operation, and ctmask checks that every masked
+// select's mask traces back to a constant-time comparison.
+//
+//horam:constant-time
+
 // Empty is the address sentinel an unoccupied constant-time slot
 // holds. It sorts after every valid address, so the occupied slots
 // always form the sorted prefix of the array.
@@ -61,14 +68,18 @@ var (
 type CT struct {
 	capacity  int
 	blockSize int
-	addrs     []int64 // sorted ascending; Empty sentinels form the suffix
-	lens      []int   // stored payload length per slot
-	slab      []byte  // capacity × blockSize payload backing
-	count     int
-	peak      int
-	out       []byte // Get/Has scan target, reused across calls
-	pad       []byte // Put staging: payload zero-padded to blockSize
-	zero      []byte // all-zero block for masked clears
+	// The stored addresses are the access-pattern secret: which blocks
+	// are resident is exactly what an observer must not learn.
+	//
+	//horam:secret
+	addrs []int64 // sorted ascending; Empty sentinels form the suffix
+	lens  []int   // stored payload length per slot
+	slab  []byte  // capacity × blockSize payload backing
+	count int
+	peak  int
+	out   []byte // Get/Has scan target, reused across calls
+	pad   []byte // Put staging: payload zero-padded to blockSize
+	zero  []byte // all-zero block for masked clears
 }
 
 // NewConstantTime returns an empty constant-time stash holding at most
@@ -107,6 +118,8 @@ func (s *CT) slot(i int) []byte { return s.slab[i*s.blockSize : (i+1)*s.blockSiz
 // Put stores data under addr, replacing any previous value; the data
 // is copied into the slot array (the caller keeps ownership of its
 // buffer, unlike the map stash). Equivalent to PutMasked(1, ...).
+//
+//horam:secret addr
 func (s *CT) Put(addr int64, data []byte) error { return s.PutMasked(1, addr, data) }
 
 // PutMasked is Put when v == 1 and a fixed-cost no-op when v == 0: the
@@ -115,6 +128,8 @@ func (s *CT) Put(addr int64, data []byte) error { return s.PutMasked(1, addr, da
 // slots without revealing which of them carried real blocks. When
 // v == 0 the addr operand is ignored (it may be a dummy sentinel);
 // when v == 1 it must be a valid non-negative address.
+//
+//horam:secret addr
 func (s *CT) PutMasked(v int, addr int64, data []byte) error {
 	if len(data) > s.blockSize {
 		return fmt.Errorf("stash: payload %d bytes exceeds constant-time slot size %d", len(data), s.blockSize)
@@ -169,7 +184,11 @@ func (s *CT) PutMasked(v int, addr int64, data []byte) error {
 
 // scan is the shared full-length lookup: it accumulates the match
 // flag, slot position and stored length, and gathers the payload into
-// s.out, touching every slot exactly once in fixed order.
+// s.out, touching every slot exactly once in fixed order. Its results
+// are established 0-or-1 masks and mask-selected public quantities.
+//
+//horam:mask
+//horam:secret addr
 func (s *CT) scan(addr int64) (found, pos, n int) {
 	for i := range s.addrs {
 		m := ctops.Eq64(s.addrs[i], addr)
@@ -184,6 +203,8 @@ func (s *CT) scan(addr int64) (found, pos, n int) {
 // Get returns the block stored under addr without removing it. The
 // returned slice is a scratch buffer valid only until the next
 // operation on this stash.
+//
+//horam:secret addr
 func (s *CT) Get(addr int64) ([]byte, bool) {
 	found, _, n := s.scan(addr)
 	if found == 0 {
@@ -195,6 +216,8 @@ func (s *CT) Get(addr int64) ([]byte, bool) {
 // Take removes and returns the block stored under addr. The returned
 // slice is freshly allocated and owned by the caller. The removal
 // shift pass runs in full whether or not the address was present.
+//
+//horam:secret addr
 func (s *CT) Take(addr int64) ([]byte, bool) {
 	found, pos, n := s.scan(addr)
 	out := make([]byte, s.blockSize)
@@ -218,6 +241,8 @@ func (s *CT) Take(addr int64) ([]byte, bool) {
 }
 
 // Has reports whether addr is present, via the same full scan as Get.
+//
+//horam:secret addr
 func (s *CT) Has(addr int64) bool {
 	found, _, _ := s.scan(addr)
 	return found == 1

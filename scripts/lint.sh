@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Static-analysis gate, mirrored between `make lint` and the CI lint
+# job. The repo's own obliviousness linter (cmd/horam-lint) always
+# runs: it builds from this module and needs nothing installed. The
+# ecosystem checkers — staticcheck and govulncheck — run when present
+# on PATH; a missing tool is a visible skip locally, and a failure
+# when LINT_REQUIRE_TOOLS=1 (CI installs both and sets it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== horam-lint =="
+go run ./cmd/horam-lint ./...
+
+run_tool() {
+	tool=$1
+	shift
+	if command -v "$tool" >/dev/null 2>&1; then
+		echo "== $tool =="
+		"$tool" "$@"
+	elif [ "${LINT_REQUIRE_TOOLS:-0}" = "1" ]; then
+		echo "lint: $tool is required (LINT_REQUIRE_TOOLS=1) but not installed" >&2
+		exit 1
+	else
+		echo "lint: $tool not installed; skipping (set LINT_REQUIRE_TOOLS=1 to make this fatal)"
+	fi
+}
+
+run_tool staticcheck ./...
+run_tool govulncheck ./...
+
+echo "lint: clean"
