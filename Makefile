@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check lint test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke fmt
+.PHONY: ci build vet fmt-check lint test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke cluster-smoke fmt
 
-ci: build vet fmt-check lint test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke
+ci: build vet fmt-check lint test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ persist-smoke:
 # TCP -> SIGTERM -> restart from snapshot -> read the table back.
 kv-smoke:
 	./scripts/kv_smoke.sh
+
+# Cluster acceptance gate: 2 horamd -shard-serve nodes + 1 -gateway,
+# KV traffic over real TCP, SIGTERM one node mid-traffic, assert the
+# gateway surfaces per-task ERRs naming the dead shard instead of
+# wedging.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Full benchmark run (slow) — the reproduction's headline numbers.
 bench:

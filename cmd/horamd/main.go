@@ -40,11 +40,36 @@
 //
 //	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4 -kv \
 //	       -kv-max-value 4096 -data-dir /var/lib/horamd
+//
+// # Cluster mode
+//
+// The shard count can also be spread across processes (and machines):
+// each shard runs in its own horamd started with -shard-serve, and one
+// horamd started with -gateway scatter/gathers over them through
+// internal/cluster. Every process — gateway and nodes — is launched
+// with the SAME global geometry flags; a -shard-serve node derives its
+// own slice (engine.ShardConfig) from them plus -shard-index, and the
+// gateway refuses any node whose PEEK manifest echo has drifted from
+// that derivation. The volume-leveling invariant stays global: the
+// gateway levels cycle counts over the wire (CYCLES/PAD), so a
+// quiescent cluster shows equal per-node cycle counts exactly as a
+// single process does.
+//
+//	horamd -shard-serve -shard-index 0 -addr :7401 -blocks 65536 -mem 8388608 -shards 2
+//	horamd -shard-serve -shard-index 1 -addr :7402 -blocks 65536 -mem 8388608 -shards 2
+//	horamd -gateway -nodes 127.0.0.1:7401,127.0.0.1:7402 -addr :7312 \
+//	       -blocks 65536 -mem 8388608 -shards 2
+//
+// A shard node may take -data-dir (ITS durability is its own concern);
+// the gateway must not — and the gateway does not migrate shards or
+// fail over: a dead node surfaces as per-task ERRs on the requests
+// that touch it. See README "Cluster mode".
 package main
 
 import (
 	"encoding/hex"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -56,6 +81,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/okv"
 	"repro/internal/server"
@@ -82,7 +109,17 @@ func main() {
 	kvSlots := flag.Int("kv-slots", okv.DefaultSlotsPerBucket, "KV slots per hash bucket (two-choice hashing)")
 	statsEvery := flag.Duration("stats-every", time.Minute, "periodic serving-stats log interval (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+	shardServe := flag.Bool("shard-serve", false, "serve ONE shard of a cluster: derive this process's geometry from the global flags plus -shard-index and enable the shard-control verbs (CYCLES/PAD/CHECKPT/PEEK) for a gateway")
+	shardIndex := flag.Int("shard-index", 0, "which shard of the -shards-wide placement this -shard-serve process is")
+	gateway := flag.Bool("gateway", false, "serve as the cluster gateway: scatter/gather over the -nodes shard processes instead of running shards in-process")
+	nodes := flag.String("nodes", "", "comma-separated shard node addresses for -gateway, placement order = shard order")
+	dialAttempts := flag.Int("dial-attempts", 20, "gateway startup: dial/probe attempts per node before giving up (with doubling backoff)")
 	flag.Parse()
+
+	// Flags the operator actually set, so mode-specific defaults only
+	// fill the gaps.
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	if *pprofAddr != "" {
 		// DefaultServeMux carries the /debug/pprof handlers via the
@@ -113,26 +150,70 @@ func main() {
 		FsyncEvery:        *fsync,
 	}
 
-	// Load-on-start: an existing manifest means a previous instance
-	// checkpointed here — resume it. Anything else starts fresh.
-	var eng *engine.Engine
-	if *dataDir != "" {
-		if _, statErr := os.Stat(filepath.Join(*dataDir, engine.ManifestFileName)); statErr == nil {
-			eng, err = engine.Restore(opts)
-			if err != nil {
-				log.Fatalf("horamd: restoring %s: %v (a fresh start needs an empty -data-dir)", *dataDir, err)
-			}
-			log.Printf("horamd: restored %s at epoch %d", *dataDir, eng.Epoch())
-		}
+	if *shardServe && *gateway {
+		log.Fatalf("horamd: -shard-serve and -gateway are exclusive; a process is a shard node or the front end, not both")
 	}
-	restored := eng != nil
-	if eng == nil {
-		eng, err = engine.New(opts)
+	if *shardServe {
+		if *kv {
+			log.Fatalf("horamd: -kv on a shard node: the key-value layer spans the WHOLE block space, so it belongs on the gateway (or a standalone daemon), not on one shard's slice")
+		}
+		// The node's slice of the global geometry: ShardConfig derives
+		// blocks/memory/key material from the same flags the gateway
+		// runs with, then the node-local durability knobs come back
+		// from this process's own flags.
+		shardOpts, err := engine.ShardConfig(opts, *shardIndex)
 		if err != nil {
 			log.Fatalf("horamd: %v", err)
 		}
+		shardOpts.DataDir = *dataDir
+		shardOpts.FsyncEvery = *fsync
+		opts = shardOpts
+		if !setFlags["batch-window"] {
+			// The gateway already collected the batch; holding its MULTI
+			// another 2ms per drain would stack windows.
+			*window = 200 * time.Microsecond
+		}
+	}
+
+	var eng *engine.Engine
+	restored := false
+	if *gateway {
 		if *dataDir != "" {
-			log.Printf("horamd: initialised fresh durable store in %s", *dataDir)
+			log.Fatalf("horamd: -gateway with -data-dir: shard nodes own their durability; give -data-dir to the -shard-serve processes instead")
+		}
+		placement, err := cluster.ParsePlacement(*nodes)
+		if err != nil {
+			log.Fatalf("horamd: -nodes: %v", err)
+		}
+		if !setFlags["shards"] {
+			opts.Shards = len(placement.Nodes)
+		}
+		eng, err = cluster.Connect(opts, placement, client.DialConfig{Attempts: *dialAttempts})
+		if err != nil {
+			log.Fatalf("horamd: %v", err)
+		}
+		log.Printf("horamd: gateway over %d shard nodes: %s", len(placement.Nodes), *nodes)
+	} else {
+		// Load-on-start: an existing manifest means a previous instance
+		// checkpointed here — resume it. Anything else starts fresh.
+		if *dataDir != "" {
+			if _, statErr := os.Stat(filepath.Join(*dataDir, engine.ManifestFileName)); statErr == nil {
+				eng, err = engine.Restore(opts)
+				if err != nil {
+					log.Fatalf("horamd: restoring %s: %v (a fresh start needs an empty -data-dir)", *dataDir, err)
+				}
+				log.Printf("horamd: restored %s at epoch %d", *dataDir, eng.Epoch())
+			}
+		}
+		restored = eng != nil
+		if eng == nil {
+			eng, err = engine.New(opts)
+			if err != nil {
+				log.Fatalf("horamd: %v", err)
+			}
+			if *dataDir != "" {
+				log.Printf("horamd: initialised fresh durable store in %s", *dataDir)
+			}
 		}
 	}
 
@@ -181,13 +262,18 @@ func main() {
 		return eng.SaveSnapshot()
 	}
 
+	if store != nil && *gateway {
+		log.Printf("horamd: WARNING: gateway KV directory state is not durable (the gateway has no -data-dir); nodes persist blocks, but a gateway restart starts an empty table")
+	}
+
 	srv, err := server.New(server.Config{
-		Engine:      eng,
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		MaxConns:    *maxConns,
-		KV:          store,
-		Logf:        log.Printf,
+		Engine:       eng,
+		BatchWindow:  *window,
+		MaxBatch:     *maxBatch,
+		MaxConns:     *maxConns,
+		KV:           store,
+		ShardControl: *shardServe,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("horamd: %v", err)
@@ -204,8 +290,14 @@ func main() {
 	if store != nil {
 		mode = "kv store"
 	}
+	switch {
+	case *shardServe:
+		mode = fmt.Sprintf("shard node %d/%d", *shardIndex, *shards)
+	case *gateway:
+		mode = "gateway " + mode
+	}
 	log.Printf("horamd: serving %d x %d B blocks on %s as a %s (%d shards, %s shuffle, batch window %v, max batch %d, max conns %d)",
-		*blocks, *blockSize, ln.Addr(), mode, eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
+		opts.Blocks, *blockSize, ln.Addr(), mode, eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
 
 	// Periodic checkpoints keep the recoverable image fresh; a hard
 	// crash loses at most one interval of writes.

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned for calls after Close.
@@ -56,12 +57,65 @@ type Client struct {
 	closed bool
 }
 
-// Dial connects to a horamd-protocol server.
+// DialConfig bounds connection establishment. A plain net.Dial against
+// a node that is down-but-routed (firewalled, mid-reboot, black-holed)
+// blocks for the kernel's TCP handshake timeout — minutes — which a
+// gateway assembling a cluster cannot afford. The zero value of each
+// field selects the default.
+type DialConfig struct {
+	// Timeout bounds ONE connection attempt (DefaultDialTimeout if 0).
+	Timeout time.Duration
+	// Attempts is the total number of attempts, 1 meaning no retry
+	// (default 1). A node that refuses fast (nothing listening yet)
+	// burns attempts quickly, so pair Attempts > 1 with a Backoff.
+	Attempts int
+	// Backoff is the sleep after a failed attempt, doubling each retry
+	// (DefaultDialBackoff if 0 and Attempts > 1).
+	Backoff time.Duration
+}
+
+// Dial defaults.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultDialBackoff = 100 * time.Millisecond
+)
+
+// Dial connects to a horamd-protocol server with the default dial
+// bounds (one attempt, DefaultDialTimeout).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialWithConfig(addr, DialConfig{})
+}
+
+// DialWithConfig connects with explicit timeout/retry bounds. It
+// returns the last attempt's error after the attempt budget is spent;
+// it never blocks longer than Attempts × (Timeout + total backoff).
+func DialWithConfig(addr string, cfg DialConfig) (*Client, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultDialTimeout
 	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 1
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultDialBackoff
+	}
+	var conn net.Conn
+	var err error
+	backoff := cfg.Backoff
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err = net.DialTimeout("tcp", addr, cfg.Timeout)
+		if err == nil {
+			return newClient(conn), nil
+		}
+	}
+	return nil, fmt.Errorf("client: dial %s (%d attempts): %w", addr, cfg.Attempts, err)
+}
+
+func newClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:       conn,
 		w:          bufio.NewWriter(conn),
@@ -70,7 +124,7 @@ func Dial(addr string) (*Client, error) {
 		quit:       make(chan struct{}),
 	}
 	go c.reader(bufio.NewReaderSize(conn, 64<<10))
-	return c, nil
+	return c
 }
 
 // reader matches response lines to in-flight calls in send order.
@@ -322,6 +376,70 @@ func (c *Client) KDel(key []byte) (existed bool, err error) {
 // Stats fetches the server's STATS line parsed into key=value pairs.
 func (c *Client) Stats() (map[string]string, error) {
 	lines, err := c.do(0, "STATS")
+	if err != nil {
+		return nil, err
+	}
+	line := lines[0]
+	if !strings.HasPrefix(line, "OK") {
+		return nil, errors.New("client: " + strings.TrimPrefix(line, "ERR "))
+	}
+	kv := make(map[string]string)
+	for _, f := range strings.Fields(line)[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	return kv, nil
+}
+
+// Cycles fetches the node's cumulative scheduler cycle count — the
+// CYCLES shard-control verb, answered only by horamd -shard-serve.
+// It is the lightweight read a gateway's leveling pass uses (a full
+// STATS line would do, but leveling runs after every batch).
+func (c *Client) Cycles() (int64, error) {
+	lines, err := c.do(0, "CYCLES")
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(lines[0], "OK ") {
+		return 0, errors.New("client: " + strings.TrimPrefix(lines[0], "ERR "))
+	}
+	return strconv.ParseInt(strings.TrimPrefix(lines[0], "OK "), 10, 64)
+}
+
+// Pad runs dummy scheduler cycles on the node until its cumulative
+// count reaches target (the PAD shard-control verb) and returns how
+// many were run — the over-the-wire half of cross-node cycle
+// leveling.
+func (c *Client) Pad(target int64) (int64, error) {
+	lines, err := c.do(0, fmt.Sprintf("PAD %d", target))
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(lines[0], "OK ") {
+		return 0, errors.New("client: " + strings.TrimPrefix(lines[0], "ERR "))
+	}
+	return strconv.ParseInt(strings.TrimPrefix(lines[0], "OK "), 10, 64)
+}
+
+// Checkpt checkpoints the node's shard state at the explicit lifetime
+// number (the CHECKPT shard-control verb), so a gateway can drive a
+// cluster to one aligned checkpoint cut.
+func (c *Client) Checkpt(n uint64) error {
+	lines, err := c.do(0, fmt.Sprintf("CHECKPT %d", n))
+	if err != nil {
+		return err
+	}
+	return parseOKLine(lines[0])
+}
+
+// Peek fetches the node's manifest echo (the PEEK shard-control verb)
+// parsed into key=value pairs: epoch, checkpoint, geometry, option
+// flags, cluster identity and the hex-encoded seed. A gateway
+// validates these against the placement-derived expectation before
+// serving any traffic through the node.
+func (c *Client) Peek() (map[string]string, error) {
+	lines, err := c.do(0, "PEEK")
 	if err != nil {
 		return nil, err
 	}

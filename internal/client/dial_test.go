@@ -1,0 +1,69 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// deadAddr reserves a port that is guaranteed to have nothing
+// listening: bind, read the address, close. The window where another
+// process grabs the port is negligible for a test.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// A dead node must fail the dial promptly — the gateway's startup
+// path depends on it — whether the OS refuses fast (typical for a
+// closed local port) or the timeout has to fire.
+func TestDialDeadNodeFailsFast(t *testing.T) {
+	addr := deadAddr(t)
+	start := time.Now()
+	c, err := DialWithConfig(addr, DialConfig{Timeout: 250 * time.Millisecond})
+	if err == nil {
+		c.Close()
+		t.Fatalf("DialWithConfig(%s) connected to a dead address", addr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("single-attempt dial against a dead node took %v; the timeout did not bound it", elapsed)
+	}
+}
+
+// The retry budget must be spent and then surfaced — not retried
+// forever — and the total time must stay within the configured
+// attempts × (timeout + backoff) envelope.
+func TestDialRetriesAreBounded(t *testing.T) {
+	addr := deadAddr(t)
+	cfg := DialConfig{
+		Timeout:  100 * time.Millisecond,
+		Attempts: 3,
+		Backoff:  10 * time.Millisecond,
+	}
+	start := time.Now()
+	c, err := DialWithConfig(addr, cfg)
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Fatalf("DialWithConfig(%s) connected to a dead address", addr)
+	}
+	// 3 attempts × 100ms timeout + 10+20ms backoff = 330ms worst case;
+	// allow generous CI slack but catch unbounded retry loops.
+	if elapsed > 5*time.Second {
+		t.Fatalf("3-attempt dial took %v; retries are not bounded", elapsed)
+	}
+}
+
+// Defaults must fill in: zero-value config behaves like one attempt
+// with the default timeout, and Dial delegates to it.
+func TestDialDefaultsApply(t *testing.T) {
+	if _, err := Dial(deadAddr(t)); err == nil {
+		t.Fatal("Dial connected to a dead address")
+	}
+}

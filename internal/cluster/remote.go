@@ -1,0 +1,156 @@
+// The remote ShardBackend: one shard of a gateway engine served by a
+// horamd -shard-serve node on the far end of a TCP connection. Data
+// traffic rides the ordinary block protocol (MULTI/READ/WRITE);
+// control traffic — cycle leveling, aligned checkpoints, identity
+// probes — rides the shard-control verbs (CYCLES/PAD/CHECKPT/PEEK)
+// the node enables.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// remoteShard implements engine.ShardBackend over a client connection
+// to a -shard-serve node. The engine's one-scheduler-goroutine-per-
+// shard discipline serialises Batch calls, so the connection never
+// sees interleaved MULTI frames from one gateway.
+type remoteShard struct {
+	index  int
+	addr   string
+	c      *client.Client
+	blocks int64
+}
+
+var _ engine.ShardBackend = (*remoteShard)(nil)
+
+func (r *remoteShard) Blocks() int64 { return r.blocks }
+
+// Batch runs the shard-local requests through the node as MULTI
+// frames, chunked at the protocol cap. Read results land in the
+// requests' Result fields; a write's Result stays nil (the wire
+// protocol does not return previous contents) and the simulated
+// submit/done timestamps are not populated — the node's clocks are
+// not this process's clocks.
+func (r *remoteShard) Batch(reqs []*engine.Request) error {
+	for off := 0; off < len(reqs); off += client.MaxBatchOps {
+		end := off + client.MaxBatchOps
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		ops := make([]client.Op, end-off)
+		for i, req := range reqs[off:end] {
+			ops[i] = client.Op{Addr: req.Addr}
+			if req.Op == engine.OpWrite {
+				ops[i].Write = true
+				ops[i].Data = req.Data
+			}
+		}
+		results, err := r.c.Batch(ops)
+		if err != nil {
+			return r.fail(err)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				return r.fail(res.Err)
+			}
+			if req := reqs[off+i]; req.Op == engine.OpRead {
+				req.Result = res.Data
+			}
+		}
+	}
+	return nil
+}
+
+func (r *remoteShard) Cycles() (int64, error) {
+	n, err := r.c.Cycles()
+	if err != nil {
+		return 0, r.fail(err)
+	}
+	return n, nil
+}
+
+func (r *remoteShard) PadToCycles(target int64) (int64, error) {
+	padded, err := r.c.Pad(target)
+	if err != nil {
+		return padded, r.fail(err)
+	}
+	return padded, nil
+}
+
+// Stats reconstructs the node's scheme counters from its STATS line.
+// The engine's Stats path has no error channel (counters are
+// best-effort diagnostics, unlike Cycles which correctness depends
+// on), so a node that cannot answer contributes zeros.
+func (r *remoteShard) Stats() core.Stats {
+	kv, err := r.c.Stats()
+	if err != nil {
+		return core.Stats{}
+	}
+	var st core.Stats
+	st.Requests, _ = client.StatInt(kv, "requests") //horam:errok best-effort diagnostics; a missing field reads as zero
+	st.Hits, _ = client.StatInt(kv, "hits")         //horam:errok best-effort diagnostics
+	st.Misses, _ = client.StatInt(kv, "misses")     //horam:errok best-effort diagnostics
+	st.Shuffles, _ = client.StatInt(kv, "shuffles") //horam:errok best-effort diagnostics
+	st.ShuffleQuanta, _ = client.StatInt(kv, "quanta")
+	// The node is a 1-shard engine, so its shard 0 counters are the
+	// shard's: cumulative cycles live under s0_cycles, not a top-level
+	// key.
+	st.Cycles, _ = client.StatInt(kv, "s0_cycles") //horam:errok best-effort diagnostics
+	if d, err := time.ParseDuration(kv["max_cycle"]); err == nil {
+		st.MaxCycleTime = d
+	}
+	if d, err := time.ParseDuration(kv["simtime"]); err == nil {
+		st.SimulatedTime = d
+	}
+	return st
+}
+
+func (r *remoteShard) SaveSnapshotAt(checkpoint uint64) error {
+	if err := r.c.Checkpt(checkpoint); err != nil {
+		return r.fail(err)
+	}
+	return nil
+}
+
+// Peek reads the node's epoch and lifetime checkpoint counter — the
+// agreement the engine checks across shards at assembly, here checked
+// across processes.
+func (r *remoteShard) Peek() (epoch, checkpoint uint64, err error) {
+	kv, err := r.c.Peek()
+	if err != nil {
+		return 0, 0, r.fail(err)
+	}
+	if epoch, err = strconv.ParseUint(kv["epoch"], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("cluster: node %d (%s): bad PEEK epoch %q", r.index, r.addr, kv["epoch"])
+	}
+	if checkpoint, err = strconv.ParseUint(kv["checkpoint"], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("cluster: node %d (%s): bad PEEK checkpoint %q", r.index, r.addr, kv["checkpoint"])
+	}
+	return epoch, checkpoint, nil
+}
+
+// RestoreCheckpoint is refused: a node restores its own directory at
+// startup, and rolling a remote shard to an older cut belongs to the
+// migration/failover seam, not this transport.
+func (r *remoteShard) RestoreCheckpoint(checkpoint, epoch uint64) error {
+	return engine.ErrRemoteRestore
+}
+
+func (r *remoteShard) Close() error {
+	if err := r.c.Close(); err != nil {
+		return r.fail(err)
+	}
+	return nil
+}
+
+// fail stamps an error with the shard's placement identity, so a
+// gateway's per-task ERR lines say WHICH node failed.
+func (r *remoteShard) fail(err error) error {
+	return fmt.Errorf("cluster: shard %d (%s): %w", r.index, r.addr, err)
+}

@@ -62,6 +62,16 @@ type Common struct {
 	// Shards is the shard count S of a sharded engine; 0 selects 1.
 	// The single-instance core refuses Shards > 1.
 	Shards int
+	// ClusterShards and ShardIndex identify a process that serves ONE
+	// shard of a larger placement (horamd -shard-serve): the process is
+	// shard ShardIndex of a ClusterShards-wide cluster, its local
+	// geometry derived from the global one by engine.ShardConfig. Both
+	// are echoed in the manifest, so a durable shard directory can never
+	// be resumed as a different shard (or as a standalone store) without
+	// refusal, and the gateway's placement validation can detect a node
+	// launched with drifted global options. Zero values mean standalone.
+	ClusterShards int
+	ShardIndex    int
 	// ShuffleRatio enables partial shuffling (§5.3.1); 0 or 1 = full.
 	ShuffleRatio float64
 	// MonolithicShuffle selects the stop-the-world shuffle (the whole
@@ -127,6 +137,12 @@ func WithSeed(seed string) Option { return func(c *Common) { c.Seed = seed } }
 // WithShards sets the engine shard count.
 func WithShards(s int) Option { return func(c *Common) { c.Shards = s } }
 
+// WithShardIdentity marks the configuration as shard index of a
+// cluster-wide placement of total shards (see Common.ClusterShards).
+func WithShardIdentity(index, total int) Option {
+	return func(c *Common) { c.ShardIndex = index; c.ClusterShards = total }
+}
+
 // WithShuffleRatio enables partial shuffling.
 func WithShuffleRatio(r float64) Option { return func(c *Common) { c.ShuffleRatio = r } }
 
@@ -182,6 +198,15 @@ func (c Common) Validate(prefix string) error {
 	if !c.Insecure && len(c.Key) != 32 {
 		return fmt.Errorf("%s: Key must be 32 bytes, got %d", prefix, len(c.Key))
 	}
+	if c.ClusterShards < 0 || c.ShardIndex < 0 {
+		return fmt.Errorf("%s: negative cluster identity (ClusterShards %d, ShardIndex %d)", prefix, c.ClusterShards, c.ShardIndex)
+	}
+	if c.ClusterShards == 0 && c.ShardIndex != 0 {
+		return fmt.Errorf("%s: ShardIndex %d without ClusterShards", prefix, c.ShardIndex)
+	}
+	if c.ClusterShards > 0 && c.ShardIndex >= c.ClusterShards {
+		return fmt.Errorf("%s: ShardIndex %d out of [0,%d)", prefix, c.ShardIndex, c.ClusterShards)
+	}
 	sum := 0.0
 	for _, s := range c.Stages {
 		if s.C <= 0 || s.Frac < 0 {
@@ -205,6 +230,8 @@ func (c Common) Manifest(epoch uint64) snapshot.Manifest {
 		Blocks:            c.Blocks,
 		BlockSize:         c.BlockSize,
 		Shards:            c.Shards,
+		ClusterShards:     c.ClusterShards,
+		ShardIndex:        c.ShardIndex,
 		MemoryBytes:       c.MemoryBytes,
 		ShuffleRatio:      c.ShuffleRatio,
 		MonolithicShuffle: c.MonolithicShuffle,
@@ -226,6 +253,8 @@ func (c Common) CheckManifest(man *snapshot.Manifest) error {
 		{"Blocks", c.Blocks, man.Blocks},
 		{"BlockSize", c.BlockSize, man.BlockSize},
 		{"Shards", c.Shards, man.Shards},
+		{"ClusterShards", c.ClusterShards, man.ClusterShards},
+		{"ShardIndex", c.ShardIndex, man.ShardIndex},
 		{"MemoryBytes", c.MemoryBytes, man.MemoryBytes},
 		{"ShuffleRatio", c.ShuffleRatio, man.ShuffleRatio},
 		{"MonolithicShuffle", c.MonolithicShuffle, man.MonolithicShuffle},

@@ -10,14 +10,18 @@
 //     permutation of [0,N) is dealt round-robin into S shards, so the
 //     shard of an address is secret and the shards are balanced to
 //     within one block;
-//   - each shard owns a full H-ORAM stack — scheduler, reorder buffer,
-//     memory tree, storage partitions, devices, clocks — built from a
-//     per-shard key derived from the master key (independent sealer
-//     nonce streams, independent randomness);
+//   - each shard is a ShardBackend — a full H-ORAM stack. In-process
+//     shards (New/Restore) own scheduler, reorder buffer, memory tree,
+//     storage partitions, devices and clocks, built from a per-shard
+//     key derived from the master key (independent sealer nonce
+//     streams, independent randomness). Remote shards (NewWithBackends,
+//     assembled by internal/cluster) are horamd -shard-serve nodes
+//     reached over TCP; ShardConfig derives the options such a node
+//     must run with.
 //   - each shard owns one scheduler goroutine. Batch scatters a batch
-//     to the shards' reorder buffers, kicks their schedulers, and
-//     gathers: every future resolves before Batch returns, and results
-//     land in the caller's requests in submission order.
+//     into the shards' queues, kicks their schedulers, and gathers:
+//     every future resolves before Batch returns, and results land in
+//     the caller's requests in submission order.
 //
 // # Security
 //
@@ -50,9 +54,13 @@
 // traffic volumes —
 // exactly the information (total cycle count) a single unsharded
 // instance already reveals, and nothing about how requests collided
-// across shards. The obliviousness tests in this package assert both
-// properties: per-cycle bus shape per shard, and cross-shard cycle
-// equality under adversarially skewed workloads.
+// across shards. This invariant is GLOBAL, not per-process: with
+// remote backends the counts are read and the stragglers padded over
+// the wire (CYCLES/PAD), so a quiescent multi-node cluster shows S
+// equal per-shard cycle counts exactly as a single process does. The
+// obliviousness tests in this package and in internal/cluster assert
+// both properties: per-cycle bus shape per shard, and cross-shard
+// cycle equality under adversarially skewed workloads.
 //
 // Residual channel: leveling equalises counts at batch boundaries,
 // not the real-time interleaving of per-shard device activity while a
@@ -99,17 +107,39 @@ var ErrClosed = errors.New("engine: closed")
 //     keeps the in-memory simulators.
 type Options = config.Common
 
-// shard is one H-ORAM instance plus its scheduler goroutine. The
-// goroutine is the shard's only driver on the hot path: Batch only
-// enqueues into the shard's reorder buffer and kicks it.
+// future completes when the shard's scheduler drains the request it
+// tracks. It mirrors core.Future one transport level up: the engine
+// queues requests itself now, so futures no longer depend on the
+// shard being in-process.
+type future struct {
+	done chan struct{}
+	err  error
+}
+
+// shard is one ShardBackend plus its scheduler goroutine and queue.
+// The goroutine is the shard's only driver on the hot path: Batch
+// only appends to the shard's queue and kicks it, so each backend
+// still observes one serial request stream however many callers race
+// on the engine.
 type shard struct {
-	id     int
+	id      int
+	backend ShardBackend
+
+	// client is the in-process core.Client behind backend, or nil for
+	// a remote shard. Shard() exposes it to stats collection and trace
+	// tests; everything on the hot path goes through backend.
 	client *core.Client
 
 	// kick wakes the scheduler goroutine; capacity 1 coalesces kicks
 	// that arrive while a drain is running without losing any.
 	kick chan struct{}
 	done chan struct{}
+
+	// qmu guards the queue the engine scatters into — the engine-side
+	// reorder buffer feeding the backend one Batch per drain.
+	qmu     sync.Mutex
+	queue   []*Request
+	waiters []*future
 
 	mu        sync.Mutex
 	batches   int64
@@ -118,20 +148,61 @@ type shard struct {
 	hist      [NumBuckets]int64
 }
 
+// enqueue appends one request to the shard's queue and returns its
+// future. It cannot fail: requests are validated against the global
+// geometry before scatter, and the shard-local geometry is a
+// projection of it.
+func (s *shard) enqueue(r *Request) *future {
+	f := &future{done: make(chan struct{})}
+	s.qmu.Lock()
+	s.queue = append(s.queue, r)
+	s.waiters = append(s.waiters, f)
+	s.qmu.Unlock()
+	return f
+}
+
+// depth reports queued-but-undrained requests (the QueueDepth stat).
+func (s *shard) depth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
 // run is the shard's scheduler goroutine: every kick drains whatever
-// is queued in the shard's reorder buffer as one batch and completes
-// the futures. Drain errors reach the waiters through their futures;
-// drain accounting happens in the client's drain hook (see New), which
-// fires only for successful drains and before their futures complete,
-// so stats snapshots taken after a finished batch always include it.
+// is queued as one backend batch and completes the futures. Drain
+// errors reach the waiters through their futures; drain accounting
+// happens only for successful drains and before their futures
+// complete, so stats snapshots taken after a finished batch always
+// include it.
 func (s *shard) run() {
 	defer close(s.done)
 	for range s.kick {
-		s.client.Flush()
+		s.drainQueue()
 	}
 }
 
-// recordDrain is the shard's drain hook.
+// drainQueue snapshots the queue and runs it through the backend as
+// one batch. Requests enqueued while the drain is running wait for
+// the next kick, exactly as the old core reorder-buffer flush did.
+func (s *shard) drainQueue() {
+	s.qmu.Lock()
+	reqs, futs := s.queue, s.waiters
+	s.queue, s.waiters = nil, nil
+	s.qmu.Unlock()
+	if len(reqs) == 0 {
+		return
+	}
+	err := s.backend.Batch(reqs)
+	if err == nil {
+		s.recordDrain(len(reqs))
+	}
+	for _, f := range futs {
+		f.err = err
+		close(f.done)
+	}
+}
+
+// recordDrain is the shard's per-drain accounting.
 func (s *shard) recordDrain(n int) {
 	s.mu.Lock()
 	s.batches++
@@ -152,7 +223,7 @@ type Engine struct {
 
 	// Persistence wiring (zero-valued for pure simulations).
 	dataDir   string
-	manifest  snapshot.Manifest  // geometry echo written at each SaveSnapshot
+	manifest  snapshot.Manifest  // geometry echo; persisted at each SaveSnapshot
 	manSealer blockcipher.Sealer // seals the manifest container payload
 
 	// pause quiesces the engine: every Batch holds it read-locked for
@@ -166,9 +237,9 @@ type Engine struct {
 	inflight sync.WaitGroup
 	pending  int // batches in flight; the last one out levels
 
-	// scatterFault, when set, is consulted before each Enqueue during
+	// scatterFault, when set, is consulted before each enqueue during
 	// Batch's scatter phase. Tests inject mid-scatter failures with it;
-	// nil in production (core.Enqueue cannot fail after validate).
+	// nil in production (enqueue cannot fail after validate).
 	scatterFault func(i int, r *Request) error
 }
 
@@ -204,27 +275,29 @@ func resolveOptions(opts Options) (Options, error) {
 	return opts, nil
 }
 
-// New validates the options, PRF-partitions the address space, builds
-// the S shard instances and starts their scheduler goroutines. With
-// DataDir set the durable layout is reinitialised from scratch;
-// resuming a persisted image goes through Restore.
-func New(opts Options) (*Engine, error) {
-	opts, err := resolveOptions(opts)
-	if err != nil {
-		return nil, err
-	}
-	return assemble(opts, false)
+// shardPlan is the deterministic derivation every assembly path (and
+// every -shard-serve node, via ShardConfig) must agree on: the PRF
+// partition of the global address space and the per-shard option
+// sets, all derived from the global options alone.
+type shardPlan struct {
+	prf       *blockcipher.PRF // nil in insecure mode
+	shardOf   []int32
+	local     []int64
+	counts    []int64
+	shardOpts []core.Options
 }
 
-// assemble builds the engine from resolved options; restoring selects
-// core.Restore (resume each shard from its snapshot) over core.Open
-// (fresh layout).
-func assemble(opts Options, restoring bool) (*Engine, error) {
-	// Per-shard key material. With a real key, shard keys are PRF
-	// derivations of the master key, so every shard gets an independent
-	// sealer nonce stream and independent randomness — sharing the raw
-	// master key across shards would reuse CTR keystreams. Insecure
-	// mode derives per-shard seeds from the engine seed instead.
+// planShards computes the plan for resolved options.
+//
+// Per-shard key material: with a real key, shard keys are PRF
+// derivations of the master key, so every shard gets an independent
+// sealer nonce stream and independent randomness — sharing the raw
+// master key across shards would reuse CTR keystreams. Insecure mode
+// derives per-shard seeds from the engine seed instead. The partition
+// derives from the epoch-INDEPENDENT base seed: it must come out
+// identical on every restore or the shard-local address spaces would
+// scramble.
+func planShards(opts Options) (*shardPlan, error) {
 	var prf *blockcipher.PRF
 	seed := opts.Seed
 	if opts.Insecure {
@@ -246,39 +319,27 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 	// address space round-robin into the shards. Balanced to within one
 	// block, and the address->shard map is secret (derived from the
 	// key/seed), never from address arithmetic an adversary could
-	// correlate with workload structure. The partition derives from the
-	// epoch-INDEPENDENT base seed: it must come out identical on every
-	// restore or the shard-local address spaces would scramble.
-	e := &Engine{
-		blocks:    opts.Blocks,
-		blockSize: opts.BlockSize,
-		dataDir:   opts.DataDir,
-		shardOf:   make([]int32, opts.Blocks),
-		local:     make([]int64, opts.Blocks),
-	}
-	if opts.DataDir != "" && !restoring {
-		// A fresh engine reinitialises every shard layout; a manifest
-		// from a previous instance must not survive to steer a later
-		// load-on-start probe into restoring over it.
-		if err := os.Remove(manifestPath(opts.DataDir)); err != nil && !os.IsNotExist(err) {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
+	// correlate with workload structure.
+	p := &shardPlan{
+		prf:     prf,
+		shardOf: make([]int32, opts.Blocks),
+		local:   make([]int64, opts.Blocks),
+		counts:  make([]int64, opts.Shards),
 	}
 	partRNG := blockcipher.NewRNGFromString(seed + "/engine-partition")
 	perm := partRNG.Perm(int(opts.Blocks))
-	counts := make([]int64, opts.Shards)
 	for i, addr := range perm {
 		s := i % opts.Shards
-		e.shardOf[addr] = int32(s)
-		e.local[addr] = int64(i / opts.Shards)
-		counts[s]++
+		p.shardOf[addr] = int32(s)
+		p.local[addr] = int64(i / opts.Shards)
+		p.counts[s]++
 	}
 
 	memPerShard := opts.MemoryBytes / int64(opts.Shards)
-	shardOpts := make([]core.Options, opts.Shards)
+	p.shardOpts = make([]core.Options, opts.Shards)
 	for s := 0; s < opts.Shards; s++ {
-		shardOpts[s] = core.Options{
-			Blocks:            counts[s],
+		p.shardOpts[s] = core.Options{
+			Blocks:            p.counts[s],
 			BlockSize:         opts.BlockSize,
 			MemoryBytes:       memPerShard,
 			Insecure:          opts.Insecure,
@@ -290,13 +351,110 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 			FsyncEvery:        opts.FsyncEvery,
 		}
 		if opts.DataDir != "" {
-			shardOpts[s].DataDir = shardDir(opts.DataDir, s)
+			p.shardOpts[s].DataDir = shardDir(opts.DataDir, s)
 		}
 		if opts.Insecure {
-			shardOpts[s].Seed = fmt.Sprintf("%s/shard-%d", seed, s)
+			p.shardOpts[s].Seed = fmt.Sprintf("%s/shard-%d", seed, s)
 		} else {
-			shardOpts[s].Key = prf.Derive(fmt.Sprintf("engine-shard-key-%d", s), 32)
+			p.shardOpts[s].Key = prf.Derive(fmt.Sprintf("engine-shard-key-%d", s), 32)
 		}
+	}
+	return p, nil
+}
+
+// ShardConfig derives the options a horamd -shard-serve node must run
+// as shard index of a cluster whose gateway runs with opts: the
+// shard's slice of the PRF partition (Blocks), its share of the
+// memory budget, its derived key material, and the cluster identity
+// echoed in its manifest — so a node launched with drifted global
+// geometry, options or seed is refused at gateway assembly, and a
+// durable node directory can never be resumed as a different shard.
+// DataDir is cleared: where (and whether) the node persists is the
+// node's own concern, not part of the cluster-wide derivation.
+func ShardConfig(opts Options, index int) (Options, error) {
+	opts, err := resolveOptions(opts)
+	if err != nil {
+		return Options{}, err
+	}
+	if index < 0 || index >= opts.Shards {
+		return Options{}, fmt.Errorf("engine: ShardConfig(%d): index out of [0,%d)", index, opts.Shards)
+	}
+	plan, err := planShards(opts)
+	if err != nil {
+		return Options{}, err
+	}
+	out := plan.shardOpts[index]
+	out.Shards = 1
+	out.ClusterShards = opts.Shards
+	out.ShardIndex = index
+	out.DataDir = ""
+	return out, nil
+}
+
+// New validates the options, PRF-partitions the address space, builds
+// the S in-process shard instances and starts their scheduler
+// goroutines. With DataDir set the durable layout is reinitialised
+// from scratch; resuming a persisted image goes through Restore.
+func New(opts Options) (*Engine, error) {
+	opts, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(opts, false)
+}
+
+// NewWithBackends assembles an engine over already-live shard
+// backends — internal/cluster's remote shards, or any mix of
+// transports a test supplies. The options describe the same GLOBAL
+// geometry a single-process engine would run with; the backends must
+// match the PRF partition's per-shard block counts exactly (shard i
+// of a cluster serves plan slice i — see ShardConfig) and must agree
+// on epoch and checkpoint, or assembly is refused. DataDir must be
+// empty: remote shards own their durability node-side, and the engine
+// manifest file only exists for in-process layouts.
+func NewWithBackends(opts Options, backends []ShardBackend) (*Engine, error) {
+	opts, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DataDir != "" {
+		return nil, errors.New("engine: NewWithBackends with Options.DataDir: remote shards persist node-side; the engine manifest is only maintained for in-process layouts")
+	}
+	if len(backends) != opts.Shards {
+		return nil, fmt.Errorf("engine: %d backends for %d shards", len(backends), opts.Shards)
+	}
+	plan, err := planShards(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range backends {
+		if got := b.Blocks(); got != plan.counts[i] {
+			return nil, fmt.Errorf("engine: backend %d serves %d blocks, the partition assigns it %d (node launched with drifted global geometry?)", i, got, plan.counts[i])
+		}
+	}
+	return build(opts, plan, backends)
+}
+
+// assemble builds the engine from resolved options over in-process
+// shards; restoring selects RestoreCheckpoint (resume each shard from
+// its snapshot at one consistent cut) over open (fresh layout).
+func assemble(opts Options, restoring bool) (*Engine, error) {
+	plan, err := planShards(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DataDir != "" && !restoring {
+		// A fresh engine reinitialises every shard layout; a manifest
+		// from a previous instance must not survive to steer a later
+		// load-on-start probe into restoring over it.
+		if err := os.Remove(manifestPath(opts.DataDir)); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+
+	locals := make([]*localShard, opts.Shards)
+	for s := range locals {
+		locals[s] = &localShard{opts: plan.shardOpts[s]}
 	}
 
 	// Restores must land every shard on ONE consistent checkpoint cut
@@ -308,8 +466,8 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 	// replay a nonce/RNG stream.
 	var targetCkpt, targetEpoch uint64
 	if restoring {
-		for s := 0; s < opts.Shards; s++ {
-			epoch, ckpt, err := core.Peek(shardOpts[s])
+		for s, l := range locals {
+			epoch, ckpt, err := l.Peek()
 			if err != nil {
 				return nil, fmt.Errorf("engine: shard %d: %w", s, err)
 			}
@@ -322,35 +480,52 @@ func assemble(opts Options, restoring bool) (*Engine, error) {
 		}
 	}
 
-	for s := 0; s < opts.Shards; s++ {
-		var client *core.Client
+	backends := make([]ShardBackend, opts.Shards)
+	for s, l := range locals {
 		var err error
 		if restoring {
-			client, err = core.RestoreCheckpoint(shardOpts[s], targetCkpt, targetEpoch)
+			err = l.RestoreCheckpoint(targetCkpt, targetEpoch)
 		} else {
-			client, err = core.Open(shardOpts[s])
+			err = l.open()
 		}
 		if err != nil {
-			// Unwind the shards already running, or their goroutines
-			// leak on every failed construction attempt.
-			for _, sh := range e.shards {
-				close(sh.kick)
-				<-sh.done
-				sh.client.Close() //horam:errok unwinding a failed construction; the shard-open error is the one to surface
+			// Unwind the shards already open, or their resources leak
+			// on every failed construction attempt.
+			for _, prev := range locals[:s] {
+				prev.Close() //horam:errok unwinding a failed construction; the shard-open error is the one to surface
 			}
 			return nil, fmt.Errorf("engine: shard %d: %w", s, err)
 		}
+		backends[s] = l
+	}
+	return build(opts, plan, backends)
+}
+
+// build wires live backends into an engine: one scheduler goroutine
+// per shard, then the manifest echo (which also verifies cross-shard
+// epoch/checkpoint agreement, in-process or over the wire).
+func build(opts Options, plan *shardPlan, backends []ShardBackend) (*Engine, error) {
+	e := &Engine{
+		blocks:    opts.Blocks,
+		blockSize: opts.BlockSize,
+		dataDir:   opts.DataDir,
+		shardOf:   plan.shardOf,
+		local:     plan.local,
+	}
+	for i, b := range backends {
 		sh := &shard{
-			id:     s,
-			client: client,
-			kick:   make(chan struct{}, 1),
-			done:   make(chan struct{}),
+			id:      i,
+			backend: b,
+			kick:    make(chan struct{}, 1),
+			done:    make(chan struct{}),
 		}
-		client.SetDrainHook(sh.recordDrain)
+		if l, ok := b.(*localShard); ok {
+			sh.client = l.client
+		}
 		go sh.run()
 		e.shards = append(e.shards, sh)
 	}
-	if err := e.wireManifest(opts, prf); err != nil {
+	if err := e.wireManifest(opts, plan.prf); err != nil {
 		e.Close() //horam:errok unwinding a failed construction; the manifest error is the one to surface
 		return nil, err
 	}
@@ -375,15 +550,29 @@ func (e *Engine) ShardOf(addr int64) int {
 	return int(e.shardOf[addr])
 }
 
-// Shard exposes shard i's underlying client for stats collection and
-// adversary hooks (trace tests). It panics on an out-of-range index.
-// Do not drive the client directly while the engine is serving
-// traffic.
+// Shard exposes shard i's underlying in-process client for stats
+// collection and adversary hooks (trace tests). It panics on an
+// out-of-range index, and on a shard that is not in-process — a
+// remote shard's H-ORAM instance lives in another process and has no
+// client here. Do not drive the client directly while the engine is
+// serving traffic.
 func (e *Engine) Shard(i int) *core.Client {
 	if i < 0 || i >= len(e.shards) {
 		panic(fmt.Sprintf("engine: Shard(%d): index out of range [0,%d)", i, len(e.shards)))
 	}
+	if e.shards[i].client == nil {
+		panic(fmt.Sprintf("engine: Shard(%d): shard is not in-process (remote backend)", i))
+	}
 	return e.shards[i].client
+}
+
+// Backend exposes shard i's transport backend. It panics on an
+// out-of-range index.
+func (e *Engine) Backend(i int) ShardBackend {
+	if i < 0 || i >= len(e.shards) {
+		panic(fmt.Sprintf("engine: Backend(%d): index out of range [0,%d)", i, len(e.shards)))
+	}
+	return e.shards[i].backend
 }
 
 // validate rejects a malformed request before anything is enqueued, so
@@ -402,9 +591,9 @@ func (e *Engine) validate(r *Request) error {
 }
 
 // Batch runs the requests as one logical batch: it scatters them to
-// the owning shards' reorder buffers (addresses translated to shard
-// space), kicks every involved scheduler, gathers all futures, and
-// levels cycle counts across the shards (see the package doc) before
+// the owning shards' queues (addresses translated to shard space),
+// kicks every involved scheduler, gathers all futures, and levels
+// cycle counts across the shards (see the package doc) before
 // returning. Results land in each request's Result field in
 // submission order. Requests for different shards execute
 // concurrently; requests for one shard keep their submission order, so
@@ -433,30 +622,23 @@ func (e *Engine) Batch(reqs []*Request) error {
 	// Scatter: shadow requests carry the shard-local addresses so the
 	// caller's requests are never mutated.
 	shadows := make([]*Request, len(reqs))
-	futures := make([]*core.Future, len(reqs))
+	futures := make([]*future, len(reqs))
 	kicked := make(map[int]bool, len(e.shards))
 	var firstErr error
 	for i, r := range reqs {
 		sh := e.shards[e.shardOf[r.Addr]]
 		shadows[i] = &Request{Op: r.Op, Addr: e.local[r.Addr], Data: r.Data, User: r.User}
-		err := error(nil)
 		if e.scatterFault != nil {
-			err = e.scatterFault(i, r)
+			if err := e.scatterFault(i, r); err != nil {
+				// Never strand what is already enqueued: requests
+				// before i stay issued and are gathered below, requests
+				// from i on are never issued and their futures stay
+				// nil.
+				firstErr = fmt.Errorf("engine: shard %d: %w", sh.id, err)
+				break
+			}
 		}
-		var f *core.Future
-		if err == nil {
-			f, err = sh.client.Enqueue(shadows[i])
-		}
-		if err != nil {
-			// Cannot happen after validate (shard-local geometry is a
-			// projection of the global one) — but never strand what is
-			// already enqueued: requests before i stay issued and are
-			// gathered below, requests from i on are never issued and
-			// their futures stay nil.
-			firstErr = fmt.Errorf("engine: shard %d: %w", sh.id, err)
-			break
-		}
-		futures[i] = f
+		futures[i] = sh.enqueue(shadows[i])
 		kicked[sh.id] = true
 	}
 	for id := range kicked {
@@ -475,8 +657,9 @@ func (e *Engine) Batch(reqs []*Request) error {
 		if f == nil {
 			continue
 		}
-		if _, err := f.Wait(); err != nil && firstErr == nil {
-			firstErr = err
+		<-f.done
+		if f.err != nil && firstErr == nil {
+			firstErr = f.err
 		}
 		reqs[i].Result = shadows[i].Result
 		reqs[i].SubmitSim = shadows[i].SubmitSim
@@ -504,7 +687,9 @@ func (e *Engine) Batch(reqs []*Request) error {
 
 // level pads every shard with dummy scheduler cycles up to the current
 // maximum cumulative cycle count, so per-shard traffic volume is
-// workload-independent (see the package doc). Concurrent batches may
+// workload-independent (see the package doc). With remote backends
+// both the reads and the padding go over the wire (CYCLES/PAD) — the
+// leveling invariant is cluster-global. Concurrent batches may
 // interleave their level passes with each other's drains; padding only
 // ever raises a shard toward the observed maximum, which real drains
 // alone can raise, so counts converge to equality whenever the engine
@@ -517,9 +702,13 @@ func (e *Engine) level() error {
 	counts := make([]int64, len(e.shards))
 	var target int64
 	for i, sh := range e.shards {
-		counts[i] = sh.client.Stats().Cycles
-		if counts[i] > target {
-			target = counts[i]
+		n, err := sh.backend.Cycles()
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: leveling: %w", sh.id, err)
+		}
+		counts[i] = n
+		if n > target {
+			target = n
 		}
 	}
 	errs := make([]error, len(e.shards))
@@ -531,7 +720,7 @@ func (e *Engine) level() error {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			padded, err := sh.client.PadToCycles(target)
+			padded, err := sh.backend.PadToCycles(target)
 			if padded > 0 {
 				sh.mu.Lock()
 				sh.padCycles += padded
@@ -551,6 +740,55 @@ func (e *Engine) level() error {
 	return nil
 }
 
+// Cycles returns the engine's leveled cumulative cycle count: the
+// maximum across shards, which every shard matches whenever the
+// engine is quiescent. It backs the CYCLES shard-control verb a
+// -shard-serve node answers, so a gateway can read the count this
+// engine's shard(s) have run.
+func (e *Engine) Cycles() (int64, error) {
+	var max int64
+	for _, sh := range e.shards {
+		n, err := sh.backend.Cycles()
+		if err != nil {
+			return 0, fmt.Errorf("engine: shard %d: %w", sh.id, err)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max, nil
+}
+
+// PadToCycles pads every shard with dummy cycles up to target (a
+// no-op for shards already there) and returns the total padded. It
+// backs the PAD shard-control verb: a gateway levels a cluster by
+// reading every node's CYCLES and padding the stragglers to the
+// maximum, exactly as Engine.level does in-process.
+func (e *Engine) PadToCycles(target int64) (int64, error) {
+	e.pause.RLock()
+	defer e.pause.RUnlock()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	e.mu.Unlock()
+	var total int64
+	for _, sh := range e.shards {
+		padded, err := sh.backend.PadToCycles(target)
+		if padded > 0 {
+			sh.mu.Lock()
+			sh.padCycles += padded
+			sh.mu.Unlock()
+			total += padded
+		}
+		if err != nil {
+			return total, fmt.Errorf("engine: shard %d: %w", sh.id, err)
+		}
+	}
+	return total, nil
+}
+
 // Read implements core.Store.
 func (e *Engine) Read(addr int64) ([]byte, error) {
 	r := &Request{Op: OpRead, Addr: addr}
@@ -566,12 +804,13 @@ func (e *Engine) Write(addr int64, data []byte) error {
 }
 
 // Close waits for in-flight batches, stops the shard scheduler
-// goroutines and releases the shards' durable-backend resources. It
-// does not snapshot; callers that want the latest control state
-// persisted call SaveSnapshot first. Batch calls after Close return
-// ErrClosed. Safe to call more than once; the returned error is the
-// join of the shards' backend-release failures (nil for a pure
-// simulation, and nil on repeat calls — resources are already gone).
+// goroutines and releases the shards' backends (durable resources for
+// in-process shards, connections for remote ones). It does not
+// snapshot; callers that want the latest control state persisted call
+// SaveSnapshot first. Batch calls after Close return ErrClosed. Safe
+// to call more than once; the returned error is the join of the
+// shards' backend-release failures (nil for a pure simulation, and
+// nil on repeat calls — resources are already gone).
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -590,7 +829,7 @@ func (e *Engine) Close() error {
 	var err error
 	for _, sh := range e.shards {
 		<-sh.done
-		err = errors.Join(err, sh.client.Close())
+		err = errors.Join(err, sh.backend.Close())
 	}
 	return err
 }
@@ -621,7 +860,7 @@ type Summary struct {
 func (e *Engine) Stats() Summary {
 	sum := Summary{Shards: len(e.shards)}
 	for _, sh := range e.shards {
-		cs := sh.client.Stats()
+		cs := sh.backend.Stats()
 		sum.Requests += cs.Requests
 		sum.Hits += cs.Hits
 		sum.Misses += cs.Misses
@@ -669,12 +908,12 @@ type ShardStats struct {
 func (e *Engine) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(e.shards))
 	for i, sh := range e.shards {
-		cs := sh.client.Stats()
+		cs := sh.backend.Stats()
 		sh.mu.Lock()
 		st := ShardStats{
 			Shard:         i,
-			Blocks:        sh.client.Blocks(),
-			QueueDepth:    sh.client.PendingFutures(),
+			Blocks:        sh.backend.Blocks(),
+			QueueDepth:    sh.depth(),
 			Batches:       sh.batches,
 			Requests:      sh.requests,
 			Hist:          sh.hist,

@@ -52,24 +52,36 @@ func manifestSealer(opts Options, prf *blockcipher.PRF, epoch uint64) (blockciph
 // engine saves all shards in lockstep, so a divergence means the
 // directory holds snapshots from different checkpoints (e.g. a crash
 // midway through a SaveSnapshot loop) and resuming the mix would break
-// the leveled-cycle-count invariant.
+// the leveled-cycle-count invariant. With remote backends the same
+// agreement check runs over the wire (PEEK), so a cluster assembled
+// from nodes restored at different checkpoint cuts is refused exactly
+// like an in-process directory would be.
 func (e *Engine) wireManifest(opts Options, prf *blockcipher.PRF) error {
-	if opts.DataDir == "" {
-		return nil
+	epoch, ckpt, err := e.shards[0].backend.Peek()
+	if err != nil {
+		return fmt.Errorf("engine: shard 0: %w", err)
 	}
-	epoch, ckpt := e.shards[0].client.Epoch(), e.shards[0].client.Checkpoint()
 	for _, sh := range e.shards {
-		if got := sh.client.Epoch(); got != epoch {
+		got, gotCkpt, err := sh.backend.Peek()
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", sh.id, err)
+		}
+		if got != epoch {
 			return fmt.Errorf("engine: shard %d restored at epoch %d, shard 0 at %d; the per-shard snapshots are from different checkpoints", sh.id, got, epoch)
 		}
-		if got := sh.client.Checkpoint(); got != ckpt {
-			return fmt.Errorf("engine: shard %d restored at checkpoint %d, shard 0 at %d; the directory mixes snapshots from different checkpoints (crash during SaveSnapshot?)", sh.id, got, ckpt)
+		if gotCkpt != ckpt {
+			return fmt.Errorf("engine: shard %d restored at checkpoint %d, shard 0 at %d; the directory mixes snapshots from different checkpoints (crash during SaveSnapshot?)", sh.id, gotCkpt, ckpt)
 		}
 	}
 	// The geometry echo is the shared config.Common one — the same
 	// field set CheckManifest validates at restore, so echo and check
-	// cannot drift apart.
+	// cannot drift apart. It is recorded even without a DataDir: a
+	// -shard-serve node answers the PEEK control verb from it, and
+	// Epoch() reads it.
 	e.manifest = opts.Manifest(epoch)
+	if opts.DataDir == "" {
+		return nil
+	}
 	sealer, err := manifestSealer(opts, prf, epoch)
 	if err != nil {
 		return err
@@ -78,9 +90,23 @@ func (e *Engine) wireManifest(opts Options, prf *blockcipher.PRF) error {
 	return nil
 }
 
+// ManifestEcho returns the engine's geometry echo — the same manifest
+// SaveSnapshot persists, with the live epoch. A -shard-serve node
+// renders it on the PEEK shard-control verb so a gateway can refuse a
+// node running with drifted geometry, options or seed before serving
+// any traffic through it.
+func (e *Engine) ManifestEcho() snapshot.Manifest { return e.manifest }
+
 // Epoch returns the engine's key-derivation boot generation: 0 for a
 // fresh New, previous+1 after each Restore.
 func (e *Engine) Epoch() uint64 { return e.manifest.Epoch }
+
+// Peek reports the live epoch and lifetime checkpoint counter. Shard
+// 0 speaks for the engine: assembly refuses shards that disagree, and
+// every save advances all shards in lockstep to one explicit number.
+func (e *Engine) Peek() (epoch, checkpoint uint64, err error) {
+	return e.shards[0].backend.Peek()
+}
 
 // SaveSnapshot persists a consistent engine image: it quiesces
 // (in-flight batches finish, new ones wait), levels every shard to the
@@ -101,6 +127,28 @@ func (e *Engine) SaveSnapshotKV(kv *snapshot.KVState) error {
 	if e.dataDir == "" {
 		return errors.New("engine: SaveSnapshot requires Options.DataDir")
 	}
+	return e.saveSnapshot(kv, 0)
+}
+
+// SaveSnapshotAt checkpoints every shard at the explicit lifetime
+// number — the CHECKPT shard-control verb a -shard-serve node
+// answers, so a gateway can drive a whole cluster to ONE aligned
+// checkpoint cut (level, then CHECKPT the same number everywhere).
+// Unlike SaveSnapshot it does not require an engine DataDir: a node
+// persists shard state under its own directory, and the engine
+// manifest file is only maintained when this engine owns one.
+func (e *Engine) SaveSnapshotAt(target uint64) error {
+	if target == 0 {
+		return errors.New("engine: SaveSnapshotAt: checkpoint numbers start at 1")
+	}
+	return e.saveSnapshot(nil, target)
+}
+
+// saveSnapshot is the shared checkpoint path: quiesce, level, save
+// every shard at one explicit checkpoint number, then persist the
+// manifest if this engine maintains one. target 0 selects the next
+// number automatically.
+func (e *Engine) saveSnapshot(kv *snapshot.KVState, target uint64) error {
 	e.pause.Lock()
 	defer e.pause.Unlock()
 	e.mu.Lock()
@@ -122,17 +170,25 @@ func (e *Engine) SaveSnapshotKV(kv *snapshot.KVState) error {
 	// shards + 1 — so a shard whose previous save transiently failed
 	// (its counter lags) re-aligns here instead of staying skewed and
 	// poisoning the restore-time min-cut pairing.
-	var target uint64
-	for _, sh := range e.shards {
-		if ck := sh.client.Checkpoint(); ck > target {
-			target = ck
+	if target == 0 {
+		for _, sh := range e.shards {
+			_, ck, err := sh.backend.Peek()
+			if err != nil {
+				return fmt.Errorf("engine: shard %d: %w", sh.id, err)
+			}
+			if ck > target {
+				target = ck
+			}
 		}
+		target++
 	}
-	target++
 	for _, sh := range e.shards {
-		if err := sh.client.SaveSnapshotAt(target); err != nil {
+		if err := sh.backend.SaveSnapshotAt(target); err != nil {
 			return fmt.Errorf("engine: shard %d: %w", sh.id, err)
 		}
+	}
+	if e.dataDir == "" {
+		return nil
 	}
 	payload, err := e.manifest.Encode()
 	if err != nil {

@@ -40,6 +40,23 @@
 // In KV mode raw WRITE is refused: the whole block address space backs
 // the table, and a raw write landing inside it would corrupt the
 // layout. Raw READ stays available for diagnostics.
+//
+// With Config.ShardControl set (horamd -shard-serve) the shard-control
+// verbs are served as well — the wire half of the cluster control
+// plane a gateway engine (engine.NewWithBackends over
+// internal/cluster's remote shards) drives:
+//
+//	CYCLES                       -> OK <n> | ERR <msg>   (cumulative scheduler cycles)
+//	PAD <target>                 -> OK <padded> | ERR <msg>  (dummy cycles up to target)
+//	CHECKPT <n>                  -> OK | ERR <msg>   (checkpoint at explicit lifetime number)
+//	PEEK                         -> OK k=v ... | ERR <msg>   (manifest echo + checkpoint)
+//
+// CYCLES/PAD are how cross-node cycle leveling reaches over process
+// boundaries; PEEK is how a gateway refuses a node running drifted
+// geometry/options/seed before serving traffic through it. The verbs
+// are refused unless explicitly enabled: PAD and CHECKPT let any
+// client burn I/O budget and write snapshots, which a public-facing
+// front end must not expose.
 package server
 
 import (
@@ -101,6 +118,11 @@ type Config struct {
 	// cannot corrupt the table layout. Nil serves the block protocol
 	// only.
 	KV *okv.Store
+	// ShardControl enables the CYCLES/PAD/CHECKPT/PEEK verbs — the
+	// wire half of the cluster control plane. Only a horamd running as
+	// a -shard-serve node should set it: PAD and CHECKPT are
+	// state-changing operations a public front end must not expose.
+	ShardControl bool
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -415,6 +437,8 @@ scan:
 			writeOpResponse(w, req)
 		case "KGET", "KSET", "KDEL":
 			s.handleKV(w, fields)
+		case "CYCLES", "PAD", "CHECKPT", "PEEK":
+			s.handleShardControl(w, fields)
 		case "MULTI":
 			if !s.handleMulti(sc, w, fields) {
 				// Framing is no longer trustworthy (bad count, or

@@ -231,11 +231,18 @@ func DecodeShard(b []byte) (*Shard, error) {
 // every address→shard route (in insecure mode nothing else would
 // catch it — the NullSealer authenticates any snapshot).
 type Manifest struct {
-	Blocks       int64
-	BlockSize    int
-	Shards       int
-	MemoryBytes  int64
-	ShuffleRatio float64
+	Blocks    int64
+	BlockSize int
+	Shards    int
+	// ClusterShards/ShardIndex are the cluster identity echo: a
+	// -shard-serve node's image records which shard of how large a
+	// placement it holds (0/0 for a standalone store), so a directory
+	// can never be resumed as a different shard and a gateway can
+	// detect a node launched with drifted global geometry.
+	ClusterShards int
+	ShardIndex    int
+	MemoryBytes   int64
+	ShuffleRatio  float64
 	// MonolithicShuffle is echoed so an image persisted under one
 	// shuffle mode is not silently resumed under the other: the modes
 	// are state-compatible at period boundaries, but the operator's

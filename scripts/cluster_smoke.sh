@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Cluster smoke: build horamd, start two -shard-serve nodes and one
+# -gateway over them, drive KV traffic through the gateway, SIGTERM
+# one shard node mid-traffic, and assert the gateway surfaces
+# per-task ERRs naming the dead shard instead of wedging. CI runs
+# this as the cluster acceptance gate; `make cluster-smoke` runs it
+# locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/horamd" ./cmd/horamd
+go run ./scripts/clustersmoke -horamd "$tmp/horamd"

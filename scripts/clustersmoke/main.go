@@ -1,0 +1,254 @@
+// Command clustersmoke is the end-to-end cluster smoke test CI runs:
+// it starts two horamd -shard-serve nodes and one -gateway over them,
+// drives KV traffic through the gateway, SIGTERMs one shard node
+// mid-traffic, and asserts the gateway surfaces per-task ERR lines
+// naming the dead shard instead of wedging — then that the surviving
+// processes still answer and shut down cleanly.
+//
+//	go build -o /tmp/horamd ./cmd/horamd
+//	go run ./scripts/clustersmoke -horamd /tmp/horamd
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+)
+
+const (
+	blocks    = 4096
+	blockSize = 64
+	memBytes  = 1 << 20
+	shards    = 2
+	keys      = 40
+)
+
+func main() {
+	horamd := flag.String("horamd", "", "path to the horamd binary (required)")
+	flag.Parse()
+	if *horamd == "" {
+		log.Fatal("clustersmoke: -horamd is required")
+	}
+	if err := run(*horamd); err != nil {
+		log.Fatalf("clustersmoke: FAIL: %v", err)
+	}
+	fmt.Println("clustersmoke: PASS")
+}
+
+// freePort asks the kernel for a free loopback port.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close() //horam:errok the listener existed only to reserve a free port
+	return addr, nil
+}
+
+// globalFlags is the geometry every process of the cluster — nodes
+// and gateway alike — must agree on.
+func globalFlags(addr string) []string {
+	return []string{
+		"-addr", addr,
+		"-blocks", fmt.Sprint(blocks),
+		"-blocksize", fmt.Sprint(blockSize),
+		"-mem", fmt.Sprint(memBytes),
+		"-shards", fmt.Sprint(shards),
+		"-stats-every", "0",
+	}
+}
+
+// startDaemon launches one horamd and waits until it accepts
+// connections.
+func startDaemon(bin string, args ...string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var addr string
+	for i, a := range args {
+		if a == "-addr" {
+			addr = args[i+1]
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close() //horam:errok readiness probe; the connection carried no requests
+			return cmd, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, fmt.Errorf("horamd never started listening on %s", addr)
+}
+
+func stopDaemon(name string, cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("%s: SIGTERM: %w", name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s: exit: %w", name, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("%s did not exit within 30s of SIGTERM", name)
+	}
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("cluster-key-%03d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("cluster-value-%03d", i)) }
+
+func run(bin string) error {
+	n0Addr, err := freePort()
+	if err != nil {
+		return err
+	}
+	n1Addr, err := freePort()
+	if err != nil {
+		return err
+	}
+	gwAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	// Two shard nodes, then the gateway over them (its startup probes
+	// retry, so racing the nodes' listen is fine — but they are already
+	// up here anyway).
+	node0, err := startDaemon(bin, append(globalFlags(n0Addr), "-shard-serve", "-shard-index", "0")...)
+	if err != nil {
+		return fmt.Errorf("node 0: %w", err)
+	}
+	defer node0.Process.Kill()
+	node1, err := startDaemon(bin, append(globalFlags(n1Addr), "-shard-serve", "-shard-index", "1")...)
+	if err != nil {
+		return fmt.Errorf("node 1: %w", err)
+	}
+	defer node1.Process.Kill()
+	gw, err := startDaemon(bin, append(globalFlags(gwAddr),
+		"-gateway", "-nodes", n0Addr+","+n1Addr, "-kv")...)
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	defer gw.Process.Kill()
+
+	c, err := client.Dial(gwAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close() //horam:errok smoke-test teardown; the assertions already ran
+
+	// Phase 1: healthy cluster. KV traffic scatter/gathers across both
+	// nodes and reads back exactly.
+	for i := 0; i < keys; i++ {
+		if err := c.KSet(key(i), value(i)); err != nil {
+			return fmt.Errorf("KSET %d on healthy cluster: %w", i, err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		got, ok, err := c.KGet(key(i))
+		if err != nil {
+			return fmt.Errorf("KGET %d on healthy cluster: %w", i, err)
+		}
+		if !ok || !bytes.Equal(got, value(i)) {
+			return fmt.Errorf("KGET %d on healthy cluster = (%q, %v), want %q", i, got, ok, value(i))
+		}
+	}
+	log.Printf("clustersmoke: healthy cluster served %d KSET + %d KGET", keys, keys)
+
+	// Phase 2: kill shard node 1 mid-traffic. Concurrent KGETs are in
+	// flight while the SIGTERM lands, so some batches tear mid-drain.
+	trafficDone := make(chan struct{})
+	var inFlightErrs atomic.Int64
+	go func() {
+		defer close(trafficDone)
+		for i := 0; i < 200; i++ {
+			if _, _, err := c.KGet(key(i % keys)); err != nil {
+				inFlightErrs.Add(1)
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the traffic loop get going
+	if err := node1.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM node 1: %w", err)
+	}
+	go node1.Wait() //horam:errok reaping the killed node; its exit status is not under test
+	select {
+	case <-trafficDone:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("gateway wedged: in-flight traffic did not complete within 60s of the node kill")
+	}
+
+	// Phase 3: the gateway must stay responsive and surface per-task
+	// ERRs that NAME the dead shard — not hang, not crash, not pretend.
+	// Every op must return promptly; ops whose blocks (or leveling
+	// pass) touch the dead shard report it.
+	type outcome struct {
+		errs  int
+		named int
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		for i := 0; i < 50; i++ {
+			_, _, err := c.KGet(key(i % keys))
+			if err != nil {
+				o.errs++
+				if strings.Contains(err.Error(), "shard 1") {
+					o.named++
+				}
+			}
+		}
+		res <- o
+	}()
+	var o outcome
+	select {
+	case o = <-res:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("gateway wedged: post-kill ops did not complete within 60s")
+	}
+	if o.errs == 0 {
+		return fmt.Errorf("no ERR surfaced after killing shard node 1; the gateway is serving as if the cluster were whole")
+	}
+	if o.named == 0 {
+		return fmt.Errorf("ERRs surfaced but none named the dead shard; error attribution lost the node identity")
+	}
+	log.Printf("clustersmoke: post-kill: %d/50 ops returned ERR, %d named shard 1 (in-flight errors during kill: %d)",
+		o.errs, o.named, inFlightErrs.Load())
+
+	// STATS must still answer: the control connection and the serving
+	// loop survived the dead node.
+	if _, err := c.Stats(); err != nil {
+		return fmt.Errorf("STATS after node kill: %w", err)
+	}
+
+	// Phase 4: clean teardown of the survivors. The gateway joins the
+	// dead node's close error into its log but must still exit 0.
+	if err := stopDaemon("gateway", gw); err != nil {
+		return err
+	}
+	if err := stopDaemon("node 0", node0); err != nil {
+		return err
+	}
+	return nil
+}
