@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check lint test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke cluster-smoke fmt
+.PHONY: ci build vet fmt-check lint test test-shuffle race bench-smoke bench bench-shard bench-latency bench-persist bench-kv bench-obs bench-sealer bench-sealer-baseline bench-timing bench-timing-baseline persist-smoke kv-smoke cluster-smoke fmt
 
 ci: build vet fmt-check lint test test-shuffle race bench-smoke bench-sealer bench-timing persist-smoke kv-smoke cluster-smoke
 
@@ -77,6 +77,11 @@ bench-persist:
 # key-value logical throughput vs shard count.
 bench-kv:
 	$(GO) run ./cmd/horam-bench -exp kv -out BENCH_kv.json
+
+# Observability overhead: instrumented registry + tracer vs the bare
+# engine on one workload. Host-machine numbers, so not part of ci.
+bench-obs:
+	$(GO) run ./cmd/horam-bench -exp obs -out BENCH_obs.json
 
 # Sealer throughput gate: fail if the seal/open microbenchmarks fall
 # below 80% of the committed BENCH_sealer.json baseline.

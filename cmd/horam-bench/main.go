@@ -18,6 +18,7 @@
 //	horam-bench -exp latency             # per-request tail latency, monolithic vs incremental shuffle
 //	horam-bench -exp persist             # file-backed storage vs in-memory simulator
 //	horam-bench -exp kv                  # oblivious key-value layer: logical ops/s vs shard count
+//	horam-bench -exp obs                 # observability overhead: instrumented vs bare engine
 //	horam-bench -exp timing              # constant-time mode: timing-variance distinguishability
 //
 // Absolute durations come from the calibrated device models (Table
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist, kv, timing")
+	exp := flag.String("exp", "all", "experiment: all, fig5-1, table5-1, table5-2, table5-3, table5-4, seqvsrand, partial, multiuser, ablations, concurrency, shard, latency, persist, kv, obs, timing")
 	scale := flag.Float64("scale", 0.125, "scale factor for table5-4 (1 = paper size: 1 GB, 500k requests)")
 	crypto := flag.Bool("crypto", false, "run with real AES-CTR+HMAC sealing instead of the null sealer")
 	reqs := flag.Int("reqs", 200, "requests per client for -exp concurrency")
@@ -271,6 +272,25 @@ func run(exp string, scale float64, crypto bool, reqs int, out string) error {
 		fmt.Println()
 		if exp == "kv" && out != "" {
 			if err := bench.WriteKVJSON(out, rows, p); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if exp == "obs" {
+		// Not part of -exp all: like timing, this measures HOST-machine
+		// overhead (instrumentation cost), not the simulated device
+		// models the paper figures come from.
+		ran = true
+		p := bench.DefaultObsParams()
+		rows, err := bench.RunObs(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatObs(rows, p))
+		fmt.Println()
+		if out != "" {
+			if err := bench.WriteObsJSON(out, rows, p); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", out)

@@ -41,6 +41,15 @@
 //	horamd -addr :7312 -blocks 65536 -mem 8388608 -shards 4 -kv \
 //	       -kv-max-value 4096 -data-dir /var/lib/horamd
 //
+// # Observability
+//
+// -metrics-addr serves the leak-audited Prometheus exposition
+// (internal/obs) over HTTP at /metrics; -pprof-addr serves
+// net/http/pprof. Both ride the same mux, so giving both flags the
+// same address shares one listener. Logs are structured (log/slog);
+// -log-format selects text or json. The TRACE verb (see
+// internal/server) dumps per-batch spans as chrome://tracing JSON.
+//
 // # Cluster mode
 //
 // The shard count can also be spread across processes (and machines):
@@ -53,7 +62,8 @@
 // that derivation. The volume-leveling invariant stays global: the
 // gateway levels cycle counts over the wire (CYCLES/PAD), so a
 // quiescent cluster shows equal per-node cycle counts exactly as a
-// single process does.
+// single process does. A gateway's /metrics additionally aggregates
+// every node's exposition (METRICS verb) relabelled with node="i".
 //
 //	horamd -shard-serve -shard-index 0 -addr :7401 -blocks 65536 -mem 8388608 -shards 2
 //	horamd -shard-serve -shard-index 1 -addr :7402 -blocks 65536 -mem 8388608 -shards 2
@@ -70,7 +80,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr handlers on DefaultServeMux
@@ -84,6 +94,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/okv"
 	"repro/internal/server"
 )
@@ -109,33 +120,39 @@ func main() {
 	kvSlots := flag.Int("kv-slots", okv.DefaultSlotsPerBucket, "KV slots per hash bucket (two-choice hashing)")
 	statsEvery := flag.Duration("stats-every", time.Minute, "periodic serving-stats log interval (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
-	shardServe := flag.Bool("shard-serve", false, "serve ONE shard of a cluster: derive this process's geometry from the global flags plus -shard-index and enable the shard-control verbs (CYCLES/PAD/CHECKPT/PEEK) for a gateway")
+	metricsAddr := flag.String("metrics-addr", "", "serve the leak-audited Prometheus exposition at /metrics on this address (may equal -pprof-addr to share one listener; empty disables)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	shardServe := flag.Bool("shard-serve", false, "serve ONE shard of a cluster: derive this process's geometry from the global flags plus -shard-index and enable the shard-control verbs (CYCLES/PAD/CHECKPT/PEEK/METRICS) for a gateway")
 	shardIndex := flag.Int("shard-index", 0, "which shard of the -shards-wide placement this -shard-serve process is")
 	gateway := flag.Bool("gateway", false, "serve as the cluster gateway: scatter/gather over the -nodes shard processes instead of running shards in-process")
 	nodes := flag.String("nodes", "", "comma-separated shard node addresses for -gateway, placement order = shard order")
 	dialAttempts := flag.Int("dial-attempts", 20, "gateway startup: dial/probe attempts per node before giving up (with doubling backoff)")
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "horamd: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	// Flags the operator actually set, so mode-specific defaults only
 	// fill the gaps.
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if *pprofAddr != "" {
-		// DefaultServeMux carries the /debug/pprof handlers via the
-		// blank import; keep it on its own listener so profiling never
-		// shares a port with the block protocol.
-		go func() {
-			log.Printf("horamd: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("horamd: pprof server: %v", err)
-			}
-		}()
-	}
-
 	key, err := hex.DecodeString(*keyHex)
 	if err != nil {
-		log.Fatalf("horamd: bad -key: %v", err)
+		fatal("bad -key", "err", err)
 	}
 	opts := engine.Options{
 		Blocks:            *blocks,
@@ -151,11 +168,11 @@ func main() {
 	}
 
 	if *shardServe && *gateway {
-		log.Fatalf("horamd: -shard-serve and -gateway are exclusive; a process is a shard node or the front end, not both")
+		fatal("-shard-serve and -gateway are exclusive; a process is a shard node or the front end, not both")
 	}
 	if *shardServe {
 		if *kv {
-			log.Fatalf("horamd: -kv on a shard node: the key-value layer spans the WHOLE block space, so it belongs on the gateway (or a standalone daemon), not on one shard's slice")
+			fatal("-kv on a shard node: the key-value layer spans the WHOLE block space, so it belongs on the gateway (or a standalone daemon), not on one shard's slice")
 		}
 		// The node's slice of the global geometry: ShardConfig derives
 		// blocks/memory/key material from the same flags the gateway
@@ -163,7 +180,7 @@ func main() {
 		// from this process's own flags.
 		shardOpts, err := engine.ShardConfig(opts, *shardIndex)
 		if err != nil {
-			log.Fatalf("horamd: %v", err)
+			fatal("shard config", "err", err)
 		}
 		shardOpts.DataDir = *dataDir
 		shardOpts.FsyncEvery = *fsync
@@ -179,20 +196,20 @@ func main() {
 	restored := false
 	if *gateway {
 		if *dataDir != "" {
-			log.Fatalf("horamd: -gateway with -data-dir: shard nodes own their durability; give -data-dir to the -shard-serve processes instead")
+			fatal("-gateway with -data-dir: shard nodes own their durability; give -data-dir to the -shard-serve processes instead")
 		}
 		placement, err := cluster.ParsePlacement(*nodes)
 		if err != nil {
-			log.Fatalf("horamd: -nodes: %v", err)
+			fatal("bad -nodes", "err", err)
 		}
 		if !setFlags["shards"] {
 			opts.Shards = len(placement.Nodes)
 		}
 		eng, err = cluster.Connect(opts, placement, client.DialConfig{Attempts: *dialAttempts})
 		if err != nil {
-			log.Fatalf("horamd: %v", err)
+			fatal("cluster connect", "err", err)
 		}
-		log.Printf("horamd: gateway over %d shard nodes: %s", len(placement.Nodes), *nodes)
+		logger.Info("gateway assembled", "nodes", len(placement.Nodes), "placement", *nodes)
 	} else {
 		// Load-on-start: an existing manifest means a previous instance
 		// checkpointed here — resume it. Anything else starts fresh.
@@ -200,21 +217,33 @@ func main() {
 			if _, statErr := os.Stat(filepath.Join(*dataDir, engine.ManifestFileName)); statErr == nil {
 				eng, err = engine.Restore(opts)
 				if err != nil {
-					log.Fatalf("horamd: restoring %s: %v (a fresh start needs an empty -data-dir)", *dataDir, err)
+					fatal("restore failed (a fresh start needs an empty -data-dir)", "data_dir", *dataDir, "err", err)
 				}
-				log.Printf("horamd: restored %s at epoch %d", *dataDir, eng.Epoch())
+				logger.Info("restored durable store", "data_dir", *dataDir, "epoch", eng.Epoch())
 			}
 		}
 		restored = eng != nil
 		if eng == nil {
 			eng, err = engine.New(opts)
 			if err != nil {
-				log.Fatalf("horamd: %v", err)
+				fatal("engine", "err", err)
 			}
 			if *dataDir != "" {
-				log.Printf("horamd: initialised fresh durable store in %s", *dataDir)
+				logger.Info("initialised fresh durable store", "data_dir", *dataDir)
 			}
 		}
+	}
+
+	// Observability: every mode gets a registry (it also backs the
+	// STATS line) and a tracer (armed by the TRACE verb); -metrics-addr
+	// decides whether the exposition is reachable over HTTP.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceSpans)
+	eng.Observe(reg, tracer)
+	var metricsHandler http.Handler = reg
+	if *gateway {
+		cluster.Observe(reg, eng)
+		metricsHandler = cluster.MetricsHandler(reg, eng)
 	}
 
 	// The KV layer lays its table over the engine's whole block space;
@@ -228,8 +257,9 @@ func main() {
 		// or every client legitimately using the cap would tear its
 		// connection mid-stream.
 		if lineNeed := len("KSET ") + 2*(*blockSize) + 1 + 2*(*kvMaxValue); lineNeed > server.MaxLineBytes {
-			log.Fatalf("horamd: -kv-max-value %d cannot be served: an at-cap KSET line needs %d bytes, the protocol line limit is %d (max usable cap ≈ %d)",
-				*kvMaxValue, lineNeed, server.MaxLineBytes, (server.MaxLineBytes-len("KSET ")-2*(*blockSize)-1)/2)
+			fatal("-kv-max-value cannot be served: an at-cap KSET line exceeds the protocol line limit",
+				"kv_max_value", *kvMaxValue, "line_need", lineNeed, "line_limit", server.MaxLineBytes,
+				"max_usable", (server.MaxLineBytes-len("KSET ")-2*(*blockSize)-1)/2)
 		}
 		kvOpts := okv.Options{
 			Backend:        eng,
@@ -244,12 +274,14 @@ func main() {
 			store, err = okv.New(kvOpts)
 		}
 		if err != nil {
-			log.Fatalf("horamd: %v", err)
+			fatal("kv layer", "err", err)
 		}
-		log.Printf("horamd: kv layer: %d buckets x %d slots (capacity %d keys), value cap %d B, %d live keys",
-			store.Buckets(), store.SlotsPerBucket(), store.Capacity(), store.MaxValueBytes(), store.Len())
+		logger.Info("kv layer ready",
+			"buckets", store.Buckets(), "slots", store.SlotsPerBucket(),
+			"capacity", store.Capacity(), "value_cap", store.MaxValueBytes(),
+			"live_keys", store.Len())
 	} else if restored && eng.RestoredKVState() != nil {
-		log.Printf("horamd: WARNING: restored image carries a KV table but -kv is off; raw WRITE traffic will corrupt it")
+		logger.Warn("restored image carries a KV table but -kv is off; raw WRITE traffic will corrupt it")
 	}
 
 	// checkpoint saves the engine image — through the KV layer's
@@ -263,7 +295,30 @@ func main() {
 	}
 
 	if store != nil && *gateway {
-		log.Printf("horamd: WARNING: gateway KV directory state is not durable (the gateway has no -data-dir); nodes persist blocks, but a gateway restart starts an empty table")
+		logger.Warn("gateway KV directory state is not durable (the gateway has no -data-dir); nodes persist blocks, but a gateway restart starts an empty table")
+	}
+
+	// /metrics rides DefaultServeMux alongside the pprof blank-import
+	// handlers, so equal -pprof-addr/-metrics-addr share one listener
+	// and distinct addresses each serve the full debug surface.
+	if *metricsAddr != "" {
+		http.Handle("/metrics", metricsHandler)
+	}
+	httpAddrs := []string{}
+	for _, a := range []string{*pprofAddr, *metricsAddr} {
+		if a == "" || (len(httpAddrs) > 0 && httpAddrs[0] == a) {
+			continue
+		}
+		httpAddrs = append(httpAddrs, a)
+	}
+	for _, a := range httpAddrs {
+		a := a
+		go func() {
+			logger.Info("debug http listener", "addr", a, "pprof", *pprofAddr != "", "metrics", *metricsAddr != "")
+			if err := http.ListenAndServe(a, nil); err != nil {
+				logger.Warn("debug http listener failed", "addr", a, "err", err)
+			}
+		}()
 	}
 
 	srv, err := server.New(server.Config{
@@ -273,14 +328,16 @@ func main() {
 		MaxConns:     *maxConns,
 		KV:           store,
 		ShardControl: *shardServe,
-		Logf:         log.Printf,
+		Metrics:      reg,
+		Tracer:       tracer,
+		Logger:       logger,
 	})
 	if err != nil {
-		log.Fatalf("horamd: %v", err)
+		fatal("server", "err", err)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("horamd: %v", err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
 	shuffleMode := "incremental"
 	if *monolithic {
@@ -296,8 +353,11 @@ func main() {
 	case *gateway:
 		mode = "gateway " + mode
 	}
-	log.Printf("horamd: serving %d x %d B blocks on %s as a %s (%d shards, %s shuffle, batch window %v, max batch %d, max conns %d)",
-		opts.Blocks, *blockSize, ln.Addr(), mode, eng.Shards(), shuffleMode, *window, *maxBatch, *maxConns)
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "mode", mode,
+		"blocks", opts.Blocks, "blocksize", *blockSize,
+		"shards", eng.Shards(), "shuffle", shuffleMode,
+		"batch_window", *window, "max_batch", *maxBatch, "max_conns", *maxConns)
 
 	// Periodic checkpoints keep the recoverable image fresh; a hard
 	// crash loses at most one interval of writes.
@@ -315,9 +375,9 @@ func main() {
 			case <-ticker.C:
 				start := time.Now()
 				if err := checkpointNow(); err != nil {
-					log.Printf("horamd: checkpoint failed: %v", err)
+					logger.Error("checkpoint failed", "err", err)
 				} else {
-					log.Printf("horamd: checkpoint saved in %v", time.Since(start).Round(time.Millisecond))
+					logger.Info("checkpoint saved", "elapsed", time.Since(start).Round(time.Millisecond))
 				}
 			case <-ckptStop:
 				return
@@ -326,8 +386,10 @@ func main() {
 	}()
 
 	// Periodic serving-stats log: the observable heartbeat operators
-	// watch — requests, batching quality, and (in KV mode) the
-	// kv_gets/kv_sets/kv_dels/kv_misses counters.
+	// watch — one record with stable keys, machine-greppable in either
+	// -log-format. KV verbs bypass the block batcher, so in KV mode the
+	// kv_* counters are the real traffic and the window counters would
+	// read as an idle daemon.
 	statsStop := make(chan struct{})
 	statsDone := make(chan struct{})
 	go func() {
@@ -342,15 +404,18 @@ func main() {
 			case <-ticker.C:
 				st := srv.Stats()
 				if st.KV != nil {
-					// KV verbs bypass the block batcher, so the server's
-					// window counters would read as an idle daemon here;
-					// the KV counters are the real traffic.
-					log.Printf("horamd: stats: kv_ops=%d kv_count=%d kv_gets=%d kv_sets=%d kv_dels=%d kv_misses=%d block_requests=%d conns=%d active=%d",
-						st.KV.Gets+st.KV.Sets+st.KV.Dels, st.KV.Count, st.KV.Gets, st.KV.Sets, st.KV.Dels, st.KV.Misses,
-						st.Requests, st.Accepted, st.Active)
+					logger.Info("stats",
+						"kv_ops", st.KV.Gets+st.KV.Sets+st.KV.Dels,
+						"kv_count", st.KV.Count,
+						"kv_gets", st.KV.Gets, "kv_sets", st.KV.Sets,
+						"kv_dels", st.KV.Dels, "kv_misses", st.KV.Misses,
+						"block_requests", st.Requests,
+						"conns", st.Accepted, "active", st.Active)
 				} else {
-					log.Printf("horamd: stats: requests=%d conns=%d active=%d batches=%d mean_batch=%.2f",
-						st.Requests, st.Accepted, st.Active, st.Batches, st.MeanBatch)
+					logger.Info("stats",
+						"requests", st.Requests,
+						"conns", st.Accepted, "active", st.Active,
+						"batches", st.Batches, "mean_batch", st.MeanBatch)
 				}
 			case <-statsStop:
 				return
@@ -363,14 +428,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("horamd: %v: shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		if err := srv.Close(); err != nil {
-			log.Printf("horamd: server close: %v", err)
+			logger.Error("server close", "err", err)
 		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {
-		log.Fatalf("horamd: %v", err)
+		fatal("serve", "err", err)
 	}
 	close(ckptStop)
 	<-ckptDone
@@ -381,30 +446,39 @@ func main() {
 	// snapshot captures the final state and a restart loses nothing.
 	if *dataDir != "" {
 		if err := checkpointNow(); err != nil {
-			log.Printf("horamd: final checkpoint failed: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 		} else {
-			log.Printf("horamd: final checkpoint saved to %s", *dataDir)
+			logger.Info("final checkpoint saved", "data_dir", *dataDir)
 		}
 	}
 
 	st := srv.Stats()
 	sum := eng.Stats()
 	if st.KV != nil {
-		log.Printf("horamd: served %d kv ops (%d gets, %d sets, %d dels, %d misses; %d/%d live keys) + %d raw block requests over %d connections",
-			st.KV.Gets+st.KV.Sets+st.KV.Dels, st.KV.Gets, st.KV.Sets, st.KV.Dels, st.KV.Misses,
-			st.KV.Count, st.KV.Capacity, st.Requests, st.Accepted)
+		logger.Info("served",
+			"kv_ops", st.KV.Gets+st.KV.Sets+st.KV.Dels,
+			"kv_gets", st.KV.Gets, "kv_sets", st.KV.Sets,
+			"kv_dels", st.KV.Dels, "kv_misses", st.KV.Misses,
+			"kv_count", st.KV.Count, "kv_capacity", st.KV.Capacity,
+			"block_requests", st.Requests, "conns", st.Accepted)
 	} else {
-		log.Printf("horamd: served %d requests over %d connections in %d windows (mean window %.2f, hist %s)",
-			st.Requests, st.Accepted, st.Batches, st.MeanBatch, st.HistogramString())
+		logger.Info("served",
+			"requests", st.Requests, "conns", st.Accepted,
+			"windows", st.Batches, "mean_window", st.MeanBatch,
+			"hist", st.HistogramString())
 	}
-	log.Printf("horamd: engine: shards=%d hits=%d misses=%d shuffles=%d cycles=%d padded=%d simtime=%s",
-		sum.Shards, sum.Hits, sum.Misses, sum.Shuffles, sum.Cycles, sum.Padded, sum.SimTime.Round(time.Millisecond))
+	logger.Info("engine summary",
+		"shards", sum.Shards, "hits", sum.Hits, "misses", sum.Misses,
+		"shuffles", sum.Shuffles, "cycles", sum.Cycles, "padded", sum.Padded,
+		"simtime", sum.SimTime.Round(time.Millisecond))
 	for _, sh := range st.PerShard {
-		log.Printf("horamd: shard %d: blocks=%d drains=%d reqs=%d mean=%.2f hist=%s cycles=%d pad=%d shuffles=%d",
-			sh.Shard, sh.Blocks, sh.Batches, sh.Requests, sh.MeanBatch,
-			engine.FormatHist(sh.Hist), sh.Cycles, sh.PadCycles, sh.Shuffles)
+		logger.Info("shard summary",
+			"shard", sh.Shard, "blocks", sh.Blocks,
+			"drains", sh.Batches, "reqs", sh.Requests, "mean", sh.MeanBatch,
+			"hist", engine.FormatHist(sh.Hist),
+			"cycles", sh.Cycles, "pad", sh.PadCycles, "shuffles", sh.Shuffles)
 	}
 	if err := eng.Close(); err != nil {
-		log.Printf("horamd: engine close: %v", err)
+		logger.Error("engine close", "err", err)
 	}
 }

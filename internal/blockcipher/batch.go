@@ -97,6 +97,7 @@ func OpenInto(s Sealer, dst, sealed []byte) error {
 // SealBatch seals a run via s's batch path when it has one, falling
 // back to sequential in-place seals otherwise.
 func SealBatch(s Sealer, plaintexts, outs [][]byte, workers int) error {
+	countBytes(&sealedBytes, plaintexts)
 	if bs, ok := s.(BatchSealer); ok {
 		return bs.SealBatch(plaintexts, outs, workers)
 	}
@@ -114,6 +115,7 @@ func SealBatch(s Sealer, plaintexts, outs [][]byte, workers int) error {
 // OpenBatch opens a run via s's batch path when it has one, falling
 // back to sequential in-place opens otherwise.
 func OpenBatch(s Sealer, sealed, outs [][]byte, workers int) error {
+	countBytes(&openedBytes, sealed)
 	if bs, ok := s.(BatchSealer); ok {
 		return bs.OpenBatch(sealed, outs, workers)
 	}

@@ -456,6 +456,63 @@ func (c *Client) Peek() (map[string]string, error) {
 	return kv, nil
 }
 
+// Metrics fetches the node's Prometheus exposition (the METRICS
+// shard-control verb, answered only by horamd -shard-serve): the
+// leak-audited /metrics text a gateway aggregates into its own scrape
+// so one scrape sees the whole cluster.
+func (c *Client) Metrics() (string, error) {
+	lines, err := c.do(0, "METRICS")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(lines[0], "OK ") {
+		return "", errors.New("client: " + strings.TrimPrefix(lines[0], "ERR "))
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(lines[0], "OK "))
+	if err != nil {
+		return "", fmt.Errorf("client: bad METRICS payload: %w", err)
+	}
+	return string(raw), nil
+}
+
+// TraceStart enables the server's request-path tracer (TRACE ON),
+// resetting its span buffer.
+func (c *Client) TraceStart() error {
+	lines, err := c.do(0, "TRACE ON")
+	if err != nil {
+		return err
+	}
+	return parseOKLine(lines[0])
+}
+
+// TraceStop disables the server's request-path tracer (TRACE OFF);
+// the recorded spans stay buffered for TraceDump.
+func (c *Client) TraceStop() error {
+	lines, err := c.do(0, "TRACE OFF")
+	if err != nil {
+		return err
+	}
+	return parseOKLine(lines[0])
+}
+
+// TraceDump fetches the recorded spans as chrome://tracing JSON
+// (TRACE DUMP) — write it to a file and load it in chrome://tracing
+// or ui.perfetto.dev.
+func (c *Client) TraceDump() ([]byte, error) {
+	lines, err := c.do(0, "TRACE DUMP")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(lines[0], "OK ") {
+		return nil, errors.New("client: " + strings.TrimPrefix(lines[0], "ERR "))
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(lines[0], "OK "))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad TRACE DUMP payload: %w", err)
+	}
+	return raw, nil
+}
+
 // StatInt parses one numeric field of a Stats map.
 func StatInt(kv map[string]string, key string) (int64, error) {
 	v, ok := kv[key]

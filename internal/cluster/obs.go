@@ -1,0 +1,115 @@
+// Cluster observability: the gateway's view of its nodes. Observe
+// registers per-node transport-health instruments on the gateway
+// registry; MetricsHandler answers one /metrics scrape with the
+// gateway's own exposition PLUS every node's exposition (fetched
+// through the METRICS shard-control verb) relabelled with a node="i"
+// label, so one scrape sees the whole cluster.
+//
+// Leak-audit note: per-node failure counts are Public — a transport
+// fault is a TCP-level event the network adversary witnesses directly
+// (the connection reset or timed out on the wire), so counting it
+// reveals nothing the wire did not. Node expositions are already
+// leak-audited by the node's own registry; relabelling adds only the
+// placement index, which the adversary knows from the gateway's dial
+// pattern.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Observe registers per-node cluster health instruments on reg. The
+// engine must be one assembled by Connect (remote backends); in-process
+// shards are skipped — they have no transport to fail.
+func Observe(reg *obs.Registry, eng *engine.Engine) {
+	for i := 0; i < eng.Shards(); i++ {
+		r, ok := eng.Backend(i).(*remoteShard)
+		if !ok {
+			continue
+		}
+		node := r // capture per iteration
+		reg.GaugeFunc("horam_cluster_node_failures",
+			"transport/protocol errors surfaced by this node",
+			obs.Public("transport faults are TCP-level events the network adversary observes directly; counting them reveals nothing beyond the wire"),
+			func() int64 { return node.failures.Load() },
+			obs.Label{Key: "node", Value: strconv.Itoa(i)})
+	}
+	reg.Gauge("horam_cluster_nodes",
+		"shard nodes in the gateway placement",
+		obs.Public("placement size equals the shard count, which is public geometry (announced in every PEEK echo)")).
+		Set(int64(eng.Shards()))
+}
+
+// MetricsHandler returns the gateway /metrics handler: the gateway
+// registry's exposition followed by each node's exposition scraped
+// over the METRICS verb, comment lines stripped and every sample
+// relabelled with node="i". A node that cannot answer contributes a
+// comment naming it and bumps the scrape-error counter instead of
+// failing the whole scrape.
+func MetricsHandler(reg *obs.Registry, eng *engine.Engine) http.Handler {
+	scrapeErrs := reg.Counter("horam_cluster_scrape_errors_total",
+		"node METRICS fetches that failed during a gateway scrape",
+		obs.Public("scrape failures are transport faults; see horam_cluster_node_failures"))
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			return
+		}
+		for i := 0; i < eng.Shards(); i++ {
+			r, ok := eng.Backend(i).(*remoteShard)
+			if !ok {
+				continue
+			}
+			text, err := r.c.Metrics()
+			if err != nil {
+				scrapeErrs.Inc()
+				fmt.Fprintf(w, "# node %d (%s) scrape failed\n", i, r.addr) //horam:errok best-effort scrape annotation on an http response
+				continue
+			}
+			fmt.Fprint(w, injectNodeLabel(text, i)) //horam:errok http response write; the client sees a truncated scrape
+		}
+	})
+}
+
+// injectNodeLabel relabels one Prometheus text exposition with
+// node="<node>" on every sample line, dropping comment lines (HELP/
+// TYPE headers would collide with the gateway's own when metric names
+// overlap across nodes). Label values in this repository's registry
+// never contain spaces or braces, so the first '{' or ' ' on a line
+// reliably ends the metric name.
+func injectNodeLabel(text string, node int) string {
+	label := `node="` + strconv.Itoa(node) + `"`
+	var b strings.Builder
+	b.Grow(len(text) + 256)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			if line[i] == '{' {
+				b.WriteString(line[:i+1])
+				b.WriteString(label)
+				b.WriteString(",")
+				b.WriteString(line[i+1:])
+			} else {
+				b.WriteString(line[:i])
+				b.WriteString("{")
+				b.WriteString(label)
+				b.WriteString("}")
+				b.WriteString(line[i:])
+			}
+		} else {
+			// No value separator: not a sample line; pass through
+			// untouched rather than corrupt it.
+			b.WriteString(line)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

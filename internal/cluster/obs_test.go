@@ -1,0 +1,26 @@
+package cluster
+
+import "testing"
+
+func TestInjectNodeLabel(t *testing.T) {
+	in := "# HELP horam_shard_cycles per-shard cycles\n" +
+		"# TYPE horam_shard_cycles gauge\n" +
+		"horam_shard_cycles{shard=\"0\"} 42\n" +
+		"horam_server_windows_total 7\n" +
+		"horam_server_window_size_bucket{le=\"1\"} 3\n" +
+		"\n"
+	want := "horam_shard_cycles{node=\"3\",shard=\"0\"} 42\n" +
+		"horam_server_windows_total{node=\"3\"} 7\n" +
+		"horam_server_window_size_bucket{node=\"3\",le=\"1\"} 3\n"
+	if got := injectNodeLabel(in, 3); got != want {
+		t.Fatalf("injectNodeLabel:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestInjectNodeLabelPassThrough(t *testing.T) {
+	// A line with no separator is not a sample; it must survive
+	// unmangled rather than be corrupted by label insertion.
+	if got := injectNodeLabel("weird-line-without-space\n", 0); got != "weird-line-without-space\n" {
+		t.Fatalf("non-sample line mangled: %q", got)
+	}
+}

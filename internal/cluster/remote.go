@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -25,6 +26,10 @@ type remoteShard struct {
 	addr   string
 	c      *client.Client
 	blocks int64
+
+	// failures counts transport/protocol errors surfaced by this
+	// node, stamped in fail(); Observe exposes it per node.
+	failures atomic.Int64
 }
 
 var _ engine.ShardBackend = (*remoteShard)(nil)
@@ -152,5 +157,6 @@ func (r *remoteShard) Close() error {
 // fail stamps an error with the shard's placement identity, so a
 // gateway's per-task ERR lines say WHICH node failed.
 func (r *remoteShard) fail(err error) error {
+	r.failures.Add(1)
 	return fmt.Errorf("cluster: shard %d (%s): %w", r.index, r.addr, err)
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/blockcipher"
 	"repro/internal/config"
 	"repro/internal/horam"
+	"repro/internal/obs"
 )
 
 // DefaultBlockSize is the paper's block size (1 KB).
@@ -271,3 +272,12 @@ func (c *Client) PadToCycles(target int64) (int64, error) {
 // code should not need it. The engine is not synchronised: do not
 // drive it while other goroutines use the client.
 func (c *Client) Engine() *horam.ORAM { return c.oram }
+
+// SetObs wires the request-path tracer and the shuffle-quantum
+// latency histogram through to the underlying H-ORAM instance (see
+// horam.ORAM.SetObs). internal/engine calls it at Observe time.
+func (c *Client) SetObs(tr *obs.Tracer, tid int, quantum *obs.Histogram) {
+	c.oramMu.Lock()
+	defer c.oramMu.Unlock()
+	c.oram.SetObs(tr, tid, quantum)
+}

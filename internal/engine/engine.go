@@ -80,6 +80,7 @@ import (
 	"repro/internal/blockcipher"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -146,6 +147,10 @@ type shard struct {
 	requests  int64
 	padCycles int64 // dummy cycles run by leveling (see Engine.level)
 	hist      [NumBuckets]int64
+
+	// tracer tags drain spans with this shard's virtual thread id
+	// (shard id + 1); nil when the engine is not being observed.
+	tracer *obs.Tracer
 }
 
 // enqueue appends one request to the shard's queue and returns its
@@ -192,7 +197,9 @@ func (s *shard) drainQueue() {
 	if len(reqs) == 0 {
 		return
 	}
+	sp := s.tracer.Begin("drain", s.id+1)
 	err := s.backend.Batch(reqs)
+	sp.End(obs.Arg{Key: "size", Val: int64(len(reqs))})
 	if err == nil {
 		s.recordDrain(len(reqs))
 	}
@@ -241,6 +248,15 @@ type Engine struct {
 	// Batch's scatter phase. Tests inject mid-scatter failures with it;
 	// nil in production (enqueue cannot fail after validate).
 	scatterFault func(i int, r *Request) error
+
+	// Observability wiring (Observe, see obs.go). Nil instruments are
+	// no-ops, so the unobserved hot path pays nothing but nil checks.
+	tracer     *obs.Tracer
+	obsBatches *obs.Counter
+	obsOps     *obs.Counter
+	obsLevels  *obs.Counter
+	batchHist  *obs.Histogram
+	levelHist  *obs.Histogram
 }
 
 // Request and Op mirror the core types; engine callers need not import
@@ -619,6 +635,15 @@ func (e *Engine) Batch(reqs []*Request) error {
 	e.mu.Unlock()
 	defer e.inflight.Done()
 
+	// Instrumentation: count the accepted batch, time it when a
+	// histogram is wired, span it when tracing. All nil-safe no-ops on
+	// an unobserved engine.
+	var obsStart time.Time
+	if e.batchHist != nil {
+		obsStart = time.Now()
+	}
+	sp := e.tracer.Begin("batch", 0)
+
 	// Scatter: shadow requests carry the shard-local addresses so the
 	// caller's requests are never mutated.
 	shadows := make([]*Request, len(reqs))
@@ -682,6 +707,7 @@ func (e *Engine) Batch(reqs []*Request) error {
 			firstErr = err
 		}
 	}
+	e.observeBatch(len(reqs), obsStart, sp)
 	return firstErr
 }
 
@@ -696,11 +722,23 @@ func (e *Engine) Batch(reqs []*Request) error {
 // is quiescent — the last batch to finish observes the true maximum
 // and levels everything to it.
 func (e *Engine) level() error {
+	e.obsLevels.Inc()
 	if len(e.shards) == 1 {
 		return nil // a single instance has no cross-shard channel
 	}
+	var obsStart time.Time
+	if e.levelHist != nil {
+		obsStart = time.Now()
+	}
+	sp := e.tracer.Begin("level", 0)
 	counts := make([]int64, len(e.shards))
 	var target int64
+	defer func() {
+		if e.levelHist != nil {
+			e.levelHist.ObserveDuration(time.Since(obsStart))
+		}
+		sp.End(obs.Arg{Key: "target", Val: target})
+	}()
 	for i, sh := range e.shards {
 		n, err := sh.backend.Cycles()
 		if err != nil {
@@ -907,6 +945,17 @@ type ShardStats struct {
 // ShardStats returns a per-shard snapshot, indexed by shard id.
 func (e *Engine) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(e.shards))
+	e.ShardStatsInto(out)
+	return out
+}
+
+// ShardStatsInto fills out (which must hold exactly Shards() entries)
+// with the per-shard snapshot — the allocation-free variant backing
+// the STATS line builder, which reuses one slice across polls.
+func (e *Engine) ShardStatsInto(out []ShardStats) {
+	if len(out) != len(e.shards) {
+		panic(fmt.Sprintf("engine: ShardStatsInto: %d entries for %d shards", len(out), len(e.shards)))
+	}
 	for i, sh := range e.shards {
 		cs := sh.backend.Stats()
 		sh.mu.Lock()
@@ -932,5 +981,4 @@ func (e *Engine) ShardStats() []ShardStats {
 		}
 		out[i] = st
 	}
-	return out
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -47,6 +48,29 @@ func FormatHist(hist [NumBuckets]int64) string {
 		return "-"
 	}
 	return strings.Join(parts, ",")
+}
+
+// AppendHist appends FormatHist's rendering to dst and returns the
+// extended slice — the allocation-free variant the STATS line builder
+// uses (a steady-state STATS poll must not perturb the zero-alloc
+// serving path).
+func AppendHist(dst []byte, hist [NumBuckets]int64) []byte {
+	n := 0
+	for i, v := range hist {
+		if v > 0 {
+			if n > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, HistLabels[i]...)
+			dst = append(dst, ':')
+			dst = strconv.AppendInt(dst, v, 10)
+			n++
+		}
+	}
+	if n == 0 {
+		dst = append(dst, '-')
+	}
+	return dst
 }
 
 // SumHists returns the element-wise sum of per-shard histograms — the

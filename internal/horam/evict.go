@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/posmap"
 	"repro/internal/shuffle"
 	"repro/internal/stash"
@@ -165,7 +167,26 @@ func (o *ORAM) beginShuffle() {
 // independent of the real/dummy mix, so spreading the period across
 // cycles reveals nothing the monolithic pass did not. Callers charge
 // it to the "shuffle" accounting bucket via serial.
+//
+// Observability (SetObs) wraps the real work: the wall-clock duration
+// of each quantum feeds the Timing-class quantum histogram, and a
+// span tagged with the cycle/quantum indices lands in the trace
+// buffer. Both are nil-safe no-ops when unwired, and the wall clock
+// is only read when an observer is attached.
 func (o *ORAM) shuffleQuantum() error {
+	if o.obsQuantum == nil && !o.obsTracer.Enabled() {
+		return o.runShuffleQuantum()
+	}
+	sp := o.obsTracer.Begin("quantum", o.obsTid)
+	start := time.Now()
+	err := o.runShuffleQuantum()
+	o.obsQuantum.ObserveDuration(time.Since(start))
+	sp.End(obs.Arg{Key: "cycle", Val: o.stats.Cycles},
+		obs.Arg{Key: "quantum", Val: o.stats.ShuffleQuanta})
+	return err
+}
+
+func (o *ORAM) runShuffleQuantum() error {
 	o.inShuffle = true
 	defer func() { o.inShuffle = false }()
 	o.stats.ShuffleQuanta++

@@ -28,6 +28,7 @@ import (
 	"repro/internal/blockcipher"
 	"repro/internal/config"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/oramtree"
 	"repro/internal/pathoram"
 	"repro/internal/posmap"
@@ -231,6 +232,24 @@ type ORAM struct {
 
 	rob   []*Request
 	stats Stats
+
+	// Observability wiring (SetObs). Config cannot carry these — it is
+	// part of the serializable option set — so they are injected after
+	// construction. All three are nil-safe no-ops when unset.
+	obsTracer  *obs.Tracer
+	obsTid     int
+	obsQuantum *obs.Histogram
+}
+
+// SetObs wires the request-path tracer and the shuffle-quantum
+// latency histogram into the instance. tid is the virtual thread id
+// the instance's spans are tagged with in trace dumps (by convention
+// shard index + 1; 0 is the serving layer). Call before serving
+// traffic; the scheduler reads the fields unsynchronised.
+func (o *ORAM) SetObs(tr *obs.Tracer, tid int, quantum *obs.Histogram) {
+	o.obsTracer = tr
+	o.obsTid = tid
+	o.obsQuantum = quantum
 }
 
 // Request is one queued logical operation. After a batch completes,

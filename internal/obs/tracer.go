@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records request-path spans into a bounded in-memory buffer
+// and dumps them in the chrome://tracing JSON array format (load the
+// dump in chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off by default and costs one atomic load per
+// instrumentation site while off. It is a TRUSTED diagnostic surface
+// like STATS: span durations and annotations are wall-clock and
+// secret-adjacent, so the dump is served over the operator control
+// surface (the TRACE verb), never over /metrics.
+//
+// A nil *Tracer is inert: Begin returns an inert Span and Enabled
+// reports false.
+type Tracer struct {
+	enabled atomic.Bool
+	dropped atomic.Int64
+
+	mu    sync.Mutex
+	base  time.Time
+	spans []span
+	max   int
+}
+
+type span struct {
+	name  string
+	tid   int
+	start time.Duration // since base
+	dur   time.Duration
+	args  [4]Arg
+	nargs int
+}
+
+// Arg is one integer annotation on a span (cycle index, pad count,
+// batch size, …).
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// DefaultTraceSpans is the default span-buffer capacity.
+const DefaultTraceSpans = 1 << 16
+
+// NewTracer returns a tracer with capacity for max spans (max <= 0
+// selects DefaultTraceSpans). The tracer starts disabled.
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultTraceSpans
+	}
+	return &Tracer{max: max}
+}
+
+// Start clears the buffer and enables recording.
+func (t *Tracer) Start() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.base = time.Now()
+	t.dropped.Store(0)
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Stop disables recording; the buffer is kept for dumping.
+func (t *Tracer) Stop() {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(false)
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Len returns the number of buffered spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded because the buffer
+// was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Span is an in-flight span handle returned by Begin. The zero Span
+// (or any Span from a disabled tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span on virtual thread tid (by convention tid 0 is
+// the server/batch path, tid i+1 is shard i). When the tracer is
+// disabled this is one atomic load and no clock read.
+func (t *Tracer) Begin(name string, tid int) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// End closes the span with optional integer annotations (at most 4
+// are kept).
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	sp := span{name: s.name, tid: s.tid}
+	sp.nargs = copy(sp.args[:], args)
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		t.dropped.Add(1)
+		return
+	}
+	sp.start = s.start.Sub(t.base)
+	sp.dur = end.Sub(s.start)
+	t.spans = append(t.spans, sp)
+}
+
+// traceEvent is one chrome://tracing complete event ("ph":"X").
+type traceEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// DumpJSON renders the buffered spans as a chrome://tracing trace.
+func (t *Tracer) DumpJSON() ([]byte, error) {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}`), nil
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.spans))
+	for _, sp := range t.spans {
+		ev := traceEvent{
+			Name: sp.name,
+			Ph:   "X",
+			Ts:   float64(sp.start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  sp.tid,
+		}
+		if sp.nargs > 0 {
+			ev.Args = make(map[string]int64, sp.nargs)
+			for _, a := range sp.args[:sp.nargs] {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+	}
+	t.mu.Unlock()
+	return json.Marshal(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(16)
+	// Disabled: Begin/End are no-ops.
+	tr.Begin("ignored", 0).End()
+	if tr.Len() != 0 {
+		t.Fatal("span recorded while disabled")
+	}
+	tr.Start()
+	if !tr.Enabled() {
+		t.Fatal("Start did not enable")
+	}
+	s := tr.Begin("batch", 0)
+	tr.Begin("quantum", 2).End(Arg{"cycle", 7}, Arg{"pad", 1})
+	s.End(Arg{"size", 3})
+	tr.Stop()
+	tr.Begin("after", 0).End()
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+
+	raw, err := tr.DumpJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			Ts   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			Pid  int              `json:"pid"`
+			Tid  int              `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(dump.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(dump.TraceEvents))
+	}
+	q := dump.TraceEvents[0]
+	if q.Name != "quantum" || q.Ph != "X" || q.Tid != 2 || q.Pid != 1 {
+		t.Fatalf("quantum event = %+v", q)
+	}
+	if q.Args["cycle"] != 7 || q.Args["pad"] != 1 {
+		t.Fatalf("quantum args = %v", q.Args)
+	}
+	if dump.TraceEvents[1].Name != "batch" || dump.TraceEvents[1].Args["size"] != 3 {
+		t.Fatalf("batch event = %+v", dump.TraceEvents[1])
+	}
+}
+
+func TestTracerBufferCap(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Start()
+	for i := 0; i < 10; i++ {
+		tr.Begin("s", 0).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want cap 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	// Start resets buffer and drop count.
+	tr.Start()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Start did not reset")
+	}
+}
+
+func TestNilTracerDump(t *testing.T) {
+	var tr *Tracer
+	raw, err := tr.DumpJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"traceEvents":[]}` {
+		t.Fatalf("nil dump = %s", raw)
+	}
+}
+
+// The disabled fast path must be allocation-free: tracing sites sit
+// inside the zero-alloc steady state.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	tr := NewTracer(16)
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Begin("s", 1).End(Arg{"k", 1})
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocates %.1f times per run", n)
+	}
+}

@@ -26,7 +26,16 @@
 //	  the n sub-requests run as one scheduler batch and the n
 //	  response lines mirror the single-request responses.
 //	STATS                        -> OK k=v ... (engine + server counters)
+//	TRACE ON|OFF|STATUS|DUMP     -> OK ... (request-path tracer control;
+//	  DUMP answers OK <hex> where <hex> decodes to chrome://tracing JSON)
 //	QUIT                         -> closes the connection
+//
+// STATS and TRACE are TRUSTED operator surfaces: the STATS line
+// reports secret-dependent counters (per-shard request routing,
+// hit/miss mix, the real-vs-pad cycle split) and trace spans carry
+// wall-clock timings. The adversary-visible monitoring surface is the
+// separate leak-audited /metrics exposition (internal/obs, exported
+// by horamd -metrics-addr), which exports none of those.
 //
 // With Config.KV set (horamd -kv) the oblivious key–value verbs are
 // served as well — each runs internal/okv's fixed three-batch block
@@ -50,6 +59,8 @@
 //	PAD <target>                 -> OK <padded> | ERR <msg>  (dummy cycles up to target)
 //	CHECKPT <n>                  -> OK | ERR <msg>   (checkpoint at explicit lifetime number)
 //	PEEK                         -> OK k=v ... | ERR <msg>   (manifest echo + checkpoint)
+//	METRICS                      -> OK <hex> | ERR <msg>   (node /metrics text, hex-encoded —
+//	  how a gateway aggregates a cluster-wide scrape)
 //
 // CYCLES/PAD are how cross-node cycle leveling reaches over process
 // boundaries; PEEK is how a gateway refuses a node running drifted
@@ -64,6 +75,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"strconv"
 	"strings"
@@ -72,6 +84,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/okv"
 )
 
@@ -118,13 +131,26 @@ type Config struct {
 	// cannot corrupt the table layout. Nil serves the block protocol
 	// only.
 	KV *okv.Store
-	// ShardControl enables the CYCLES/PAD/CHECKPT/PEEK verbs — the
-	// wire half of the cluster control plane. Only a horamd running as
-	// a -shard-serve node should set it: PAD and CHECKPT are
-	// state-changing operations a public front end must not expose.
+	// ShardControl enables the CYCLES/PAD/CHECKPT/PEEK/METRICS verbs —
+	// the wire half of the cluster control plane. Only a horamd
+	// running as a -shard-serve node should set it: PAD and CHECKPT
+	// are state-changing operations a public front end must not
+	// expose, and METRICS hands out the node's whole exposition.
 	ShardControl bool
-	// Logf receives connection-level diagnostics; nil discards them.
-	Logf func(format string, args ...any)
+	// Metrics is the registry the server registers its serving
+	// counters on (see internal/obs for the leak-audit contract); the
+	// same counters back the STATS verb. Nil makes the server register
+	// on a private registry, so STATS works without an exported
+	// /metrics surface.
+	Metrics *obs.Registry
+	// Tracer, when set, enables the TRACE control verb and tags the
+	// window-drain spans. Wire the same tracer into the engine
+	// (Engine.Observe) to see the full request path in one dump. The
+	// dump is a trusted diagnostic like STATS — wall-clock spans are
+	// not a public observable.
+	Tracer *obs.Tracer
+	// Logger receives connection-level diagnostics; nil discards them.
+	Logger *slog.Logger
 }
 
 // task is one connection's contribution to a batch window.
@@ -151,11 +177,24 @@ type Server struct {
 	// production, overridable by fault-injection tests.
 	drain func(reqs []*core.Request) error
 
+	// reg backs the STATS verb and (on a -shard-serve node) the
+	// METRICS verb; ins are the registered serving counters. tracer is
+	// nil unless Config.Tracer wired one.
+	reg    *obs.Registry
+	ins    instruments
+	tracer *obs.Tracer
+	logger *slog.Logger
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
-	st     counters
+
+	// statsMu serialises STATS renders over the reused scratch below;
+	// the serving path never takes it.
+	statsMu     sync.Mutex
+	statsBuf    []byte
+	statsShards []engine.ShardStats
 }
 
 // New validates the config and starts the batcher. Callers must
@@ -173,8 +212,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = DefaultMaxConns
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		// A private registry keeps the STATS verb registry-backed even
+		// when nothing exports /metrics.
+		reg = obs.NewRegistry()
 	}
 	s := &Server{
 		cfg:         cfg,
@@ -186,7 +231,11 @@ func New(cfg Config) (*Server, error) {
 		quit:        make(chan struct{}),
 		batcherDone: make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
+		reg:         reg,
+		tracer:      cfg.Tracer,
+		logger:      cfg.Logger,
 	}
+	s.ins = newInstruments(reg, cfg.KV != nil)
 	s.drain = cfg.Engine.Batch
 	go s.batcher()
 	return s, nil
@@ -235,7 +284,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			// a connection flood) instead of killing every healthy
 			// connection with the daemon.
 			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // matches net/http's accept-retry pattern
-				s.cfg.Logf("server: accept: %v (retrying)", err)
+				s.logger.Warn("accept failed, retrying", "err", err)
 				time.Sleep(10 * time.Millisecond)
 				continue
 			}
@@ -253,15 +302,16 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) admit(conn net.Conn) bool {
 	s.mu.Lock()
 	if s.closed || len(s.conns) >= s.cfg.MaxConns {
-		s.st.Rejected++
 		s.mu.Unlock()
+		s.ins.rejected.Inc()
 		fmt.Fprintln(conn, "ERR server busy")
 		conn.Close() //horam:errok best-effort refusal of a connection over the cap
 		return false
 	}
 	s.conns[conn] = struct{}{}
-	s.st.Accepted++
 	s.mu.Unlock()
+	s.ins.accepted.Inc()
+	s.ins.active.Add(1)
 	return true
 }
 
@@ -269,6 +319,7 @@ func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.ins.active.Add(-1)
 }
 
 // Close stops accepting, lets in-flight requests complete and their
@@ -374,7 +425,16 @@ func (s *Server) batcher() {
 			if end > len(reqs) {
 				end = len(reqs)
 			}
+			var obsStart time.Time
+			if s.ins.drainTime != nil {
+				obsStart = time.Now()
+			}
+			sp := s.tracer.Begin("window", 0)
 			err := s.drain(reqs[off:end])
+			sp.End(obs.Arg{Key: "size", Val: int64(end - off)})
+			if s.ins.drainTime != nil {
+				s.ins.drainTime.ObserveDuration(time.Since(obsStart))
+			}
 			// Count only successful chunks, mirroring the engine's
 			// per-shard drain hooks (which skip failed drains) — so the
 			// per-shard request sums always reconcile with the window
@@ -423,7 +483,9 @@ scan:
 		case "QUIT":
 			return
 		case "STATS":
-			fmt.Fprintln(w, s.statsLine())
+			s.writeStats(w)
+		case "TRACE":
+			s.handleTrace(w, fields)
 		case "READ", "WRITE":
 			req, msg := s.parseOp(fields)
 			if msg != "" {
@@ -437,7 +499,7 @@ scan:
 			writeOpResponse(w, req)
 		case "KGET", "KSET", "KDEL":
 			s.handleKV(w, fields)
-		case "CYCLES", "PAD", "CHECKPT", "PEEK":
+		case "CYCLES", "PAD", "CHECKPT", "PEEK", "METRICS":
 			s.handleShardControl(w, fields)
 		case "MULTI":
 			if !s.handleMulti(sc, w, fields) {
@@ -457,7 +519,7 @@ scan:
 	// the connection silently; surface it to the client when the
 	// write side is still usable.
 	if err := sc.Err(); err != nil {
-		s.cfg.Logf("server: %s: scan: %v", conn.RemoteAddr(), err)
+		s.logger.Warn("connection scan failed", "remote", conn.RemoteAddr().String(), "err", err)
 		fmt.Fprintf(w, "ERR %v\n", err)
 	}
 	w.Flush()
@@ -552,8 +614,20 @@ func (s *Server) handleKV(w *bufio.Writer, fields []string) {
 		fmt.Fprintln(w, "ERR bad hex key")
 		return
 	}
+	var obsStart time.Time
+	if s.ins.kvTime != nil {
+		obsStart = time.Now()
+	}
+	sp := s.tracer.Begin("kv-"+strings.ToLower(verb), 0)
+	defer func() {
+		sp.End()
+		if s.ins.kvTime != nil {
+			s.ins.kvTime.ObserveDuration(time.Since(obsStart))
+		}
+	}()
 	switch verb {
 	case "KGET":
+		s.ins.kvGets.Inc()
 		val, ok, err := s.kv.Get(key)
 		switch {
 		case err != nil:
@@ -566,6 +640,7 @@ func (s *Server) handleKV(w *bufio.Writer, fields []string) {
 			fmt.Fprintln(w, "OK "+hex.EncodeToString(val))
 		}
 	case "KSET":
+		s.ins.kvSets.Inc()
 		var val []byte
 		if len(fields) == 3 {
 			if val, err = hex.DecodeString(fields[2]); err != nil {
@@ -579,6 +654,7 @@ func (s *Server) handleKV(w *bufio.Writer, fields []string) {
 		}
 		fmt.Fprintln(w, "OK")
 	case "KDEL":
+		s.ins.kvDels.Inc()
 		existed, err := s.kv.Del(key)
 		if err != nil {
 			fmt.Fprintln(w, "ERR "+err.Error())
@@ -639,31 +715,43 @@ func writeOpResponse(w *bufio.Writer, req *core.Request) {
 	}
 }
 
-// statsLine renders the STATS response: aggregate engine counters,
-// the server's window-level batching counters, and one group of keys
-// per shard (queue depth, cycles, leveling pad cycles, drains,
-// drain-size histogram). The
-// shard_hist key is the element-wise aggregation of the per-shard
-// histograms, so consumers that only want the old single-histogram
-// view still get one — built from the per-shard truth.
-func (s *Server) statsLine() string {
-	sum := s.engine.Stats()
-	ss := s.Stats()
-	var b strings.Builder
-	fmt.Fprintf(&b,
-		"OK requests=%d hits=%d misses=%d shuffles=%d quanta=%d max_cycle=%s simtime=%s shards=%d conns=%d active=%d rejected=%d batches=%d mean_batch=%.2f hist=%s shard_hist=%s",
-		sum.Requests, sum.Hits, sum.Misses, sum.Shuffles, sum.Quanta, sum.MaxCycleTime, sum.SimTime, sum.Shards,
-		ss.Accepted, ss.Active, ss.Rejected, ss.Batches, ss.MeanBatch,
-		engine.FormatHist(ss.Histogram), engine.FormatHist(ss.ShardHistogram))
-	if ss.KV != nil {
-		fmt.Fprintf(&b, " kv_count=%d kv_capacity=%d kv_gets=%d kv_sets=%d kv_dels=%d kv_misses=%d",
-			ss.KV.Count, ss.KV.Capacity, ss.KV.Gets, ss.KV.Sets, ss.KV.Dels, ss.KV.Misses)
+// handleTrace serves the TRACE control surface:
+//
+//	TRACE ON     -> OK            (reset the buffer, start recording)
+//	TRACE OFF    -> OK            (stop recording, keep the buffer)
+//	TRACE STATUS -> OK k=v ...    (enabled/spans/dropped)
+//	TRACE DUMP   -> OK <hex>      (chrome://tracing JSON, hex-encoded)
+//
+// Like STATS it is a trusted operator surface: span durations are
+// wall-clock and therefore not public observables, which is exactly
+// why the dump lives here and never on /metrics.
+func (s *Server) handleTrace(w *bufio.Writer, fields []string) {
+	if s.tracer == nil {
+		fmt.Fprintln(w, "ERR tracing not wired (start horamd to get a tracer)")
+		return
 	}
-	for _, sh := range ss.PerShard {
-		fmt.Fprintf(&b, " s%d_depth=%d s%d_cycles=%d s%d_pad=%d s%d_quanta=%d s%d_maxcycle=%s s%d_batches=%d s%d_reqs=%d s%d_hist=%s",
-			sh.Shard, sh.QueueDepth, sh.Shard, sh.Cycles, sh.Shard, sh.PadCycles,
-			sh.Shard, sh.ShuffleQuanta, sh.Shard, sh.MaxCycleTime,
-			sh.Shard, sh.Batches, sh.Shard, sh.Requests, sh.Shard, engine.FormatHist(sh.Hist))
+	sub := ""
+	if len(fields) == 2 {
+		sub = strings.ToUpper(fields[1])
 	}
-	return b.String()
+	switch sub {
+	case "ON":
+		s.tracer.Start()
+		fmt.Fprintln(w, "OK")
+	case "OFF":
+		s.tracer.Stop()
+		fmt.Fprintln(w, "OK")
+	case "STATUS":
+		fmt.Fprintf(w, "OK enabled=%t spans=%d dropped=%d\n",
+			s.tracer.Enabled(), s.tracer.Len(), s.tracer.Dropped())
+	case "DUMP":
+		raw, err := s.tracer.DumpJSON()
+		if err != nil {
+			fmt.Fprintln(w, "ERR "+err.Error())
+			return
+		}
+		fmt.Fprintln(w, "OK "+hex.EncodeToString(raw))
+	default:
+		fmt.Fprintln(w, "ERR usage: TRACE ON|OFF|STATUS|DUMP")
+	}
 }

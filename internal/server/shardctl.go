@@ -14,7 +14,7 @@ import (
 	"strings"
 )
 
-// handleShardControl serves one CYCLES/PAD/CHECKPT/PEEK command.
+// handleShardControl serves one CYCLES/PAD/CHECKPT/PEEK/METRICS command.
 // These verbs bypass the batching window: they are control-plane
 // operations issued between a gateway's data batches, not data-plane
 // requests that should coalesce with them — and PAD in particular
@@ -75,6 +75,24 @@ func (s *Server) handleShardControl(w *bufio.Writer, fields []string) {
 			return
 		}
 		fmt.Fprintln(w, s.peekLine())
+	case "METRICS":
+		if len(fields) != 1 {
+			fmt.Fprintln(w, "ERR usage: METRICS")
+			return
+		}
+		// The node's whole Prometheus exposition, hex-encoded onto one
+		// line. A gateway answers its own /metrics scrape by fetching
+		// every node's exposition through this verb and relabelling it
+		// (internal/cluster.MetricsHandler), so one scrape sees the
+		// cluster. Shard-control-gated like PAD: the exposition is
+		// leak-audited, but a node's metrics belong to its operator,
+		// not to arbitrary block-protocol clients.
+		var b strings.Builder
+		if err := s.reg.WritePrometheus(&b); err != nil {
+			fmt.Fprintln(w, "ERR "+err.Error())
+			return
+		}
+		fmt.Fprintln(w, "OK "+hex.EncodeToString([]byte(b.String())))
 	}
 }
 

@@ -13,10 +13,14 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -118,6 +122,40 @@ func stopDaemon(name string, cmd *exec.Cmd) error {
 func key(i int) []byte   { return []byte(fmt.Sprintf("cluster-key-%03d", i)) }
 func value(i int) []byte { return []byte(fmt.Sprintf("cluster-value-%03d", i)) }
 
+// scrapeMetrics fetches the gateway's aggregated /metrics exposition.
+func scrapeMetrics(addr string) (string, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //horam:errok response body close on a read-to-EOF GET
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return string(b), nil
+}
+
+// nodeCycles matches the per-node relabelled cycle counters the
+// gateway injects when it aggregates each node's METRICS exposition
+// (every node is a 1-shard engine, hence shard="0").
+var nodeCycles = regexp.MustCompile(`(?m)^horam_shard_cycles\{node="(\d+)",shard="0"\} (-?\d+)$`)
+
+func perNodeCycles(text string) (map[string]int64, error) {
+	out := map[string]int64{}
+	for _, m := range nodeCycles.FindAllStringSubmatch(text, -1) {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cycle sample %q: %w", m[0], err)
+		}
+		out[m[1]] = n
+	}
+	return out, nil
+}
+
 func run(bin string) error {
 	n0Addr, err := freePort()
 	if err != nil {
@@ -128,6 +166,10 @@ func run(bin string) error {
 		return err
 	}
 	gwAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+	metricsAddr, err := freePort()
 	if err != nil {
 		return err
 	}
@@ -146,7 +188,8 @@ func run(bin string) error {
 	}
 	defer node1.Process.Kill()
 	gw, err := startDaemon(bin, append(globalFlags(gwAddr),
-		"-gateway", "-nodes", n0Addr+","+n1Addr, "-kv")...)
+		"-gateway", "-nodes", n0Addr+","+n1Addr, "-kv",
+		"-metrics-addr", metricsAddr)...)
 	if err != nil {
 		return fmt.Errorf("gateway: %w", err)
 	}
@@ -165,16 +208,60 @@ func run(bin string) error {
 			return fmt.Errorf("KSET %d on healthy cluster: %w", i, err)
 		}
 	}
-	for i := 0; i < keys; i++ {
-		got, ok, err := c.KGet(key(i))
-		if err != nil {
-			return fmt.Errorf("KGET %d on healthy cluster: %w", i, err)
+	// The read-back loop runs concurrently with a /metrics scrape: the
+	// gateway must aggregate every node's exposition (METRICS verb,
+	// relabelled node="i") while data traffic is in flight.
+	verifyErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < keys; i++ {
+			got, ok, err := c.KGet(key(i))
+			if err != nil {
+				verifyErr <- fmt.Errorf("KGET %d on healthy cluster: %w", i, err)
+				return
+			}
+			if !ok || !bytes.Equal(got, value(i)) {
+				verifyErr <- fmt.Errorf("KGET %d on healthy cluster = (%q, %v), want %q", i, got, ok, value(i))
+				return
+			}
 		}
-		if !ok || !bytes.Equal(got, value(i)) {
-			return fmt.Errorf("KGET %d on healthy cluster = (%q, %v), want %q", i, got, ok, value(i))
-		}
+		verifyErr <- nil
+	}()
+	midText, err := scrapeMetrics(metricsAddr)
+	if err != nil {
+		return fmt.Errorf("mid-traffic /metrics scrape: %w", err)
 	}
-	log.Printf("clustersmoke: healthy cluster served %d KSET + %d KGET", keys, keys)
+	if !strings.Contains(midText, "horam_cluster_nodes 2") {
+		return fmt.Errorf("mid-traffic scrape is missing horam_cluster_nodes 2:\n%s", midText)
+	}
+	mid, err := perNodeCycles(midText)
+	if err != nil {
+		return err
+	}
+	if len(mid) != shards {
+		return fmt.Errorf("mid-traffic scrape carries cycle counters for %d nodes, want %d:\n%s", len(mid), shards, midText)
+	}
+	if err := <-verifyErr; err != nil {
+		return err
+	}
+	log.Printf("clustersmoke: healthy cluster served %d KSET + %d KGET; mid-traffic scrape saw node cycles %v", keys, keys, mid)
+
+	// At quiescence the leveling invariant must be visible through the
+	// scrape: every node reports the same cycle count.
+	quietText, err := scrapeMetrics(metricsAddr)
+	if err != nil {
+		return fmt.Errorf("quiescent /metrics scrape: %w", err)
+	}
+	quiet, err := perNodeCycles(quietText)
+	if err != nil {
+		return err
+	}
+	if len(quiet) != shards {
+		return fmt.Errorf("quiescent scrape carries cycle counters for %d nodes, want %d", len(quiet), shards)
+	}
+	if quiet["0"] != quiet["1"] || quiet["0"] <= 0 {
+		return fmt.Errorf("per-node cycle counters unequal at quiescence: %v (volume leveling must equalise them)", quiet)
+	}
+	log.Printf("clustersmoke: quiescent scrape: per-node cycles leveled at %d", quiet["0"])
 
 	// Phase 2: kill shard node 1 mid-traffic. Concurrent KGETs are in
 	// flight while the SIGTERM lands, so some batches tear mid-drain.
@@ -236,10 +323,19 @@ func run(bin string) error {
 	log.Printf("clustersmoke: post-kill: %d/50 ops returned ERR, %d named shard 1 (in-flight errors during kill: %d)",
 		o.errs, o.named, inFlightErrs.Load())
 
-	// STATS must still answer: the control connection and the serving
-	// loop survived the dead node.
-	if _, err := c.Stats(); err != nil {
+	// STATS must still answer — and parse — after the node kill: the
+	// control connection and the serving loop survived, and the line
+	// keeps its full typed shape.
+	kvMap, err := c.Stats()
+	if err != nil {
 		return fmt.Errorf("STATS after node kill: %w", err)
+	}
+	st, err := client.ParseStats(kvMap)
+	if err != nil {
+		return fmt.Errorf("STATS after node kill did not parse: %w", err)
+	}
+	if st.Shards != shards || len(st.PerShard) != shards {
+		return fmt.Errorf("STATS after node kill reports %d shards (%d groups), want %d", st.Shards, len(st.PerShard), shards)
 	}
 
 	// Phase 4: clean teardown of the survivors. The gateway joins the

@@ -217,8 +217,12 @@ func verify(addr string) error {
 	if err != nil {
 		return err
 	}
-	if n, err := client.StatInt(kv, "kv_count"); err != nil || n != keys-keys/4 {
-		return fmt.Errorf("kv_count after restart = %v (%v), want %d", kv["kv_count"], err, keys-keys/4)
+	st, err := client.ParseStats(kv)
+	if err != nil {
+		return fmt.Errorf("parsing STATS after restart: %w", err)
+	}
+	if st.KV == nil || st.KV.Count != keys-keys/4 {
+		return fmt.Errorf("kv group after restart = %+v, want %d live keys", st.KV, keys-keys/4)
 	}
 	if err := c.KSet([]byte("post-restart"), []byte("works")); err != nil {
 		return fmt.Errorf("KSET after restart: %w", err)
